@@ -1,0 +1,64 @@
+"""Ablation: AST effects of the FMLR optimizations (§6.2's claim).
+
+Beyond subparser counts (Figure 8), the paper argues the optimizations
+"also help keep the AST smaller: fewer forked subparsers means fewer
+static choice nodes in the tree, and earlier merging means more tree
+fragments outside static choice nodes, i.e., shared between
+configurations."  This bench quantifies that: choice-node counts and
+total AST sizes per optimization level on the sweep corpus.
+
+(Not a table/figure in the paper; an ablation of the design choices
+DESIGN.md calls out.)
+"""
+
+from benchmarks.conftest import emit
+from repro.parser.ast import count_choice_nodes, count_nodes
+from repro.parser.fmlr import OPTIMIZATION_LEVELS
+from repro.superc import SuperC
+
+LEVELS = ["Shared, Lazy, & Early", "Shared", "Lazy", "Follow-Set Only"]
+
+
+def test_ablation_ast_size(benchmark, sweep_corpus):
+    holder = {}
+
+    def run():
+        rows = {}
+        for level in LEVELS:
+            superc = SuperC(sweep_corpus.filesystem(),
+                            include_paths=sweep_corpus.include_paths,
+                            options=OPTIMIZATION_LEVELS[level])
+            choices = 0
+            nodes = 0
+            max_subparsers = 0
+            for unit in sweep_corpus.units:
+                result = superc.parse_file(unit)
+                assert result.ok, (level, unit)
+                choices += count_choice_nodes(result.ast)
+                nodes += count_nodes(result.ast)
+                max_subparsers = max(
+                    max_subparsers, result.parse.stats.max_subparsers)
+            rows[level] = (choices, nodes, max_subparsers)
+        holder["rows"] = rows
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = holder["rows"]
+
+    lines = ["", "=" * 64,
+             "Ablation: AST size per optimization level",
+             f"{'Level':<26}{'choice nodes':>14}{'AST nodes':>12}"
+             f"{'max subp':>10}"]
+    for level in LEVELS:
+        choices, nodes, max_subparsers = rows[level]
+        lines.append(f"{level:<26}{choices:>14}{nodes:>12}"
+                     f"{max_subparsers:>10}")
+    lines.append("=" * 64)
+    emit(lines)
+    benchmark.extra_info["rows"] = rows
+
+    best = rows["Shared, Lazy, & Early"]
+    worst = rows["Follow-Set Only"]
+    # The full stack should not produce more choice nodes than the
+    # unoptimized engine.
+    assert best[0] <= worst[0]

@@ -1,0 +1,63 @@
+"""Figure 10: SuperC latency breakdown and the gcc baseline.
+
+Plots (as a printed series) lexing, preprocessing, and parsing time
+against compilation-unit size, and reports the gcc-like
+single-configuration percentiles for comparison.
+
+Expected shape (paper): total latency scales roughly linearly with
+unit size, split mostly between preprocessing and parsing; the
+single-configuration baseline is an order of magnitude faster (gcc was
+12-32x faster than SuperC) because it preserves no conditionals.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval import measure_gcc_like, measure_superc
+
+
+def test_figure10_breakdown(benchmark, kernel_corpus):
+    holder = {}
+
+    def run():
+        holder["superc"] = measure_superc(kernel_corpus)
+        holder["gcc"] = measure_gcc_like(kernel_corpus)
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    superc, gcc = holder["superc"], holder["gcc"]
+
+    lines = ["", "=" * 72,
+             "Figure 10: SuperC latency breakdown per compilation unit",
+             f"{'Unit':<32}{'KB':>6}{'lex':>8}{'preproc':>9}"
+             f"{'parse':>8}{'total':>8}"]
+    for sample in sorted(superc.samples, key=lambda s: s.size_bytes):
+        lines.append(
+            f"{sample.unit:<32}{sample.size_bytes / 1024:>6.1f}"
+            f"{sample.lex:>8.3f}{sample.preprocess:>9.3f}"
+            f"{sample.parse:>8.3f}{sample.seconds:>8.3f}")
+    total_lex = sum(s.lex for s in superc.samples)
+    total_pp = sum(s.preprocess for s in superc.samples)
+    total_parse = sum(s.parse for s in superc.samples)
+    lines.append(f"{'TOTAL':<32}{'':>6}{total_lex:>8.3f}"
+                 f"{total_pp:>9.3f}{total_parse:>8.3f}"
+                 f"{superc.total:>8.3f}")
+    lines.append("")
+    lines.append("gcc-like single-configuration baseline (seconds):")
+    lines.append(f"  50th={gcc.percentile(0.5):.3f}  "
+                 f"90th={gcc.percentile(0.9):.3f}  "
+                 f"100th={gcc.maximum:.3f}")
+    speedup = superc.total / gcc.total if gcc.total else float("inf")
+    lines.append(f"  speedup over SuperC: {speedup:.1f}x "
+                 "(paper: 12-32x)")
+    lines.append("=" * 72)
+    emit(lines)
+
+    benchmark.extra_info["speedup"] = speedup
+    # Shape: most SuperC time is preprocessing + parsing; the
+    # single-configuration baseline is several times faster.
+    assert total_pp + total_parse > total_lex
+    assert gcc.total < superc.total
+    # Rough linearity: the largest unit should not take wildly more
+    # per byte than the smallest (no superlinear blow-up).
+    ordered = sorted(superc.samples, key=lambda s: s.size_bytes)
+    per_byte = [s.seconds / s.size_bytes for s in ordered]
+    assert max(per_byte) < 20 * min(per_byte)

@@ -1,0 +1,73 @@
+"""Figure 8: subparser counts per FMLR main-loop iteration.
+
+Parses every compilation unit at each optimization level and reports
+(a) the 99th percentile and maximum subparser counts, with MAPR's
+kill-switch behaviour, and (b) the cumulative distribution.
+
+Expected shape (paper): the full optimization stack needs the fewest
+subparsers (99th 21, max 39 on Linux); dropping optimizations
+increases counts (Follow-Set Only max 468, a ~12x gap); MAPR trips the
+kill switch on most units.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval import figure8
+from repro.parser.fmlr import OPTIMIZATION_LEVELS
+
+# A reduced kill switch keeps the MAPR explosion measurable in minutes
+# (the mechanism — exponential forking on Figure 6 initializers — is
+# identical at any threshold; the paper uses 16,000).
+KILL_SWITCH = 500
+
+
+def test_figure8_subparser_counts(benchmark, sweep_corpus):
+    holder = {}
+
+    def run():
+        holder["table"] = figure8(sweep_corpus,
+                                  kill_switch=KILL_SWITCH)
+        return holder["table"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = holder["table"]
+
+    lines = ["", "=" * 66,
+             "Figure 8a: subparser counts per FMLR loop iteration",
+             f"{'Optimization level':<26}{'99th %':>9}{'Max.':>9}"]
+    for level in OPTIMIZATION_LEVELS:
+        dist = table[level]
+        if dist.exploded_units:
+            share = 100 * dist.exploded_units // dist.total_units
+            lines.append(f"{level:<26}{'>' + str(KILL_SWITCH):>9}"
+                         f"  on {share}% of comp. units")
+        else:
+            lines.append(f"{level:<26}{dist.p99:>9}{dist.maximum:>9}")
+    lines.append("")
+    lines.append("Figure 8b: cumulative distribution "
+                 "(fraction of iterations with <= N subparsers)")
+    points = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64]
+    header = f"{'level':<26}" + "".join(f"{p:>6}" for p in points)
+    lines.append(header)
+    for level in OPTIMIZATION_LEVELS:
+        dist = table[level]
+        if dist.exploded_units:
+            continue
+        cdf = dict(dist.cdf(points))
+        row = f"{level:<26}" + "".join(
+            f"{cdf.get(p, 1.0):>6.2f}" for p in points)
+        lines.append(row)
+    lines.append("=" * 66)
+    emit(lines)
+
+    best = table["Shared, Lazy, & Early"]
+    follow_only = table["Follow-Set Only"]
+    mapr = table["MAPR"]
+    # Shape: full optimizations <= follow-set only; MAPR explodes.
+    assert best.exploded_units == 0
+    assert best.maximum <= follow_only.maximum
+    assert mapr.exploded_units == mapr.total_units  # all units explode
+    benchmark.extra_info["levels"] = {
+        level: (dist.p99, dist.maximum, dist.exploded_units)
+        for level, dist in table.items()}

@@ -1,0 +1,58 @@
+"""Figure 9: SuperC vs TypeChef latency per compilation unit.
+
+Measures the cumulative latency distribution, the per-tool maximum,
+and the kernel total for SuperC (BDD presence conditions) and the
+TypeChef proxy (the same pipeline over CNF+DPLL formulas — the
+mechanism the paper blames for TypeChef's knee and long tail).
+
+Expected shape (paper): SuperC 3.4-3.8x faster at the 50th-80th
+percentiles; TypeChef's curve knees and develops a long tail on
+complex units; SuperC's does not.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval import measure_superc, measure_typechef_proxy
+
+
+def test_figure9_latency(benchmark, sweep_corpus):
+    holder = {}
+
+    def run():
+        holder["superc"] = measure_superc(sweep_corpus)
+        holder["typechef"] = measure_typechef_proxy(sweep_corpus)
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    superc, typechef = holder["superc"], holder["typechef"]
+
+    lines = ["", "=" * 66,
+             "Figure 9: latency per compilation unit (seconds)",
+             f"{'Percentile':<14}{'SuperC':>12}{'TypeChef-proxy':>16}"
+             f"{'ratio':>8}"]
+    for p in (0.50, 0.80, 0.90, 1.00):
+        s = superc.percentile(p)
+        t = typechef.percentile(p)
+        ratio = t / s if s else float("inf")
+        lines.append(f"{int(p * 100):>3}th"
+                     f"{'':<9}{s:>12.3f}{t:>16.3f}{ratio:>8.1f}x")
+    lines.append(f"{'Max':<14}{superc.maximum:>12.3f}"
+                 f"{typechef.maximum:>16.3f}")
+    lines.append(f"{'Total':<14}{superc.total:>12.3f}"
+                 f"{typechef.total:>16.3f}")
+    lines.append("")
+    lines.append("Cumulative distribution (seconds at each unit rank):")
+    lines.append("SuperC:         " + " ".join(
+        f"{sec:.2f}" for sec, _f in superc.cdf()))
+    lines.append("TypeChef-proxy: " + " ".join(
+        f"{sec:.2f}" for sec, _f in typechef.cdf()))
+    tail_ratio = (typechef.maximum / typechef.percentile(0.5)) / \
+        max(superc.maximum / superc.percentile(0.5), 1e-9)
+    lines.append(f"(tail spread ratio TypeChef/SuperC: "
+                 f"{tail_ratio:.1f}x — the knee)")
+    lines.append("=" * 66)
+    emit(lines)
+
+    benchmark.extra_info["superc_total"] = superc.total
+    benchmark.extra_info["typechef_total"] = typechef.total
+    # Shape: SuperC wins overall.
+    assert typechef.total > superc.total

@@ -1,0 +1,54 @@
+"""Scaling sweep: SuperC latency vs corpus size (Figure 10 support).
+
+Figure 10's claim is that SuperC's latency scales roughly linearly
+with compilation-unit size.  This bench sweeps the corpus generator's
+scale knob and reports total latency per scale, so the growth curve is
+visible directly (an extension of the paper's single-scatter plot).
+"""
+
+from benchmarks.conftest import emit
+from repro.corpus import KernelSpec, generate_kernel
+from repro.eval import measure_superc, unit_size_bytes
+
+SCALES = [1, 2, 3]
+
+
+def test_scaling_linearity(benchmark):
+    holder = {}
+
+    def run():
+        rows = []
+        for scale in SCALES:
+            spec = KernelSpec(seed=99, subsystems=1,
+                              drivers_per_subsystem=1,
+                              figure6_entries=6).scaled(scale)
+            corpus = generate_kernel(spec)
+            dist = measure_superc(corpus)
+            total_bytes = sum(unit_size_bytes(corpus, unit)
+                              for unit in corpus.units)
+            rows.append((scale, len(corpus.units), total_bytes,
+                         dist.total))
+        holder["rows"] = rows
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = holder["rows"]
+
+    lines = ["", "=" * 58,
+             "Scaling: SuperC latency vs corpus size",
+             f"{'scale':>6}{'units':>7}{'KB':>9}{'seconds':>10}"
+             f"{'ms/KB':>8}"]
+    for scale, units, total_bytes, seconds in rows:
+        per_kb = 1000.0 * seconds / (total_bytes / 1024)
+        lines.append(f"{scale:>6}{units:>7}{total_bytes / 1024:>9.0f}"
+                     f"{seconds:>10.2f}{per_kb:>8.2f}")
+    lines.append("=" * 58)
+    emit(lines)
+    benchmark.extra_info["rows"] = rows
+
+    # Rough linearity: per-byte cost at the largest scale within a
+    # small factor of the smallest.
+    first = rows[0][3] / rows[0][2]
+    last = rows[-1][3] / rows[-1][2]
+    assert last < 8 * first
+    assert first < 8 * last

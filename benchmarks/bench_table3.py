@@ -1,0 +1,53 @@
+"""Table 3: a tool's view of preprocessor usage.
+
+Runs the instrumented configuration-preserving preprocessor and parser
+over every compilation unit and reports each interaction row as the
+50th · 90th · 100th percentiles across units, exactly like the paper's
+Table 3.
+
+Expected shape: almost all macro definitions are contained in
+conditionals (include guards); a majority of invocations are nested;
+conditionals appear inside invocations/pasting/stringification/
+includes (the hoisted rows are non-zero); computed includes are rare;
+ambiguously defined names are (near) zero.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval import TOOLS_VIEW_ROWS, tools_view
+
+
+def test_table3_tools_view(benchmark, kernel_corpus, superc):
+    holder = {}
+
+    def run():
+        holder["table"] = tools_view(superc, kernel_corpus.units)
+        return holder["table"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = holder["table"]
+
+    lines = ["", "=" * 68,
+             "Table 3: tool's view (50th - 90th - 100th percentiles "
+             "across units)",
+             f"{'Language construct':<38}{'50th':>9}{'90th':>9}"
+             f"{'100th':>9}"]
+    for label, _attr in TOOLS_VIEW_ROWS:
+        p50, p90, p100 = table[label]
+        lines.append(f"{label:<38}{p50:>9.0f}{p90:>9.0f}{p100:>9.0f}")
+    lines.append("=" * 68)
+    emit(lines)
+
+    # Shape assertions mirroring the paper's observations.
+    defs = table["Macro Definitions"]
+    contained = table["  Contained in conditionals"]
+    assert contained[0] >= 0.8 * defs[0]   # "almost all definitions"
+    invocations = table["Macro Invocations"]
+    nested = table["  Nested invocations"]
+    assert nested[0] >= 0.4 * invocations[0]  # paper: >60%
+    assert table["  Hoisted"][2] >= 1          # invocations hoisted
+    assert table["Static Conditionals"][0] >= 5
+    assert table["  With non-boolean expressions"][2] >= 1
+    assert table["  Computed includes"][2] >= 1
+    assert table["  Ambiguously defined names"][0] == 0  # paper: zero
+    benchmark.extra_info["rows"] = {
+        label: table[label] for label, _ in TOOLS_VIEW_ROWS}

@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures on the
+synthetic kernel corpus and prints the same rows/series the paper
+reports.  Numbers are not expected to match the paper's testbed, but
+the shape — who wins, by what factor, where curves knee — should hold.
+"""
+
+import sys
+
+import pytest
+
+from repro.corpus import KernelSpec, generate_kernel
+from repro.superc import SuperC
+
+# Benchmark-scale kernel: big enough for stable percentiles, small
+# enough for a pure-Python pipeline.
+BENCH_SPEC = KernelSpec(seed=2012, subsystems=4,
+                        drivers_per_subsystem=3, figure6_entries=10)
+
+# Smaller corpus for the per-optimization-level sweep (7 full parses
+# of every unit).
+SWEEP_SPEC = KernelSpec(seed=2012, subsystems=2,
+                        drivers_per_subsystem=2, figure6_entries=8)
+
+
+@pytest.fixture(scope="session")
+def kernel_corpus():
+    return generate_kernel(BENCH_SPEC)
+
+
+@pytest.fixture(scope="session")
+def sweep_corpus():
+    return generate_kernel(SWEEP_SPEC)
+
+
+@pytest.fixture(scope="session")
+def superc(kernel_corpus):
+    return SuperC(kernel_corpus.filesystem(),
+                  include_paths=kernel_corpus.include_paths)
+
+
+# Reports are exchanged through a scratch file: pytest loads this
+# conftest under its own module name while benches import
+# `benchmarks.conftest`, so module-level state would be duplicated.
+import os
+
+_REPORT_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            ".bench_reports.txt")
+
+
+def emit(lines):
+    """Record a report; it is printed in the terminal summary (outside
+    pytest's output capture) so it lands in the benchmark log."""
+    text = "\n".join(lines)
+    with open(_REPORT_FILE, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(text, file=sys.stderr)  # visible with -s too
+
+
+def pytest_sessionstart(session):
+    try:
+        os.remove(_REPORT_FILE)
+    except OSError:
+        pass
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    try:
+        with open(_REPORT_FILE, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return
+    for line in text.splitlines():
+        terminalreporter.write_line(line)

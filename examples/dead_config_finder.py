@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A configuration-aware dead-code finder built on the SuperC API.
+
+This is the class of tool the paper motivates: analyses that must see
+*all* configurations at once.  Given architectural constraints (some
+CONFIG variables forced on/off, dependencies between variables), it
+reports:
+
+* conditional code blocks that become unreachable under the
+  constraints (their presence condition is infeasible), and
+* ``#error`` configurations, i.e. build-breaking variable
+  combinations.
+
+A per-configuration tool (like a compiler) would need exponentially
+many runs to find these; here one parse suffices because every block
+carries its presence condition as a BDD.
+
+Run:  python examples/dead_config_finder.py
+"""
+
+from repro import BDDManager, StaticChoice, parse_c
+from repro.cpp.conditions import defined_var
+from repro.parser.ast import Node, iter_tokens
+
+SOURCE = '''\
+#ifdef CONFIG_64BIT
+#define BITS_PER_LONG 64
+#else
+#define BITS_PER_LONG 32
+#endif
+
+#if defined(CONFIG_HIGHMEM) && defined(CONFIG_64BIT)
+#error "highmem is pointless on 64-bit"
+#endif
+
+long read_counter(void)
+{
+#ifdef CONFIG_HIGHMEM
+    long v = remap_and_read();
+#else
+    long v = direct_read();
+#endif
+#if BITS_PER_LONG == 64
+    return v;
+#else
+    return v & 0xffffffff;
+#endif
+}
+'''
+
+
+def collect_choices(value, enclosing, out):
+    """All (presence condition, first tokens) per choice branch."""
+    if isinstance(value, StaticChoice):
+        for condition, branch in value.branches:
+            joint = enclosing & condition
+            tokens = [t.text for t in iter_tokens(branch)][:6]
+            out.append((joint, tokens))
+            collect_choices(branch, joint, out)
+    elif isinstance(value, Node):
+        for child in value.children:
+            collect_choices(child, enclosing, out)
+    elif isinstance(value, tuple):
+        for child in value:
+            collect_choices(child, enclosing, out)
+
+
+def main() -> None:
+    result = parse_c(SOURCE)
+    unit = result.unit
+    manager = unit.manager
+
+    # Architectural constraint: we only build 64-bit targets.
+    constraint = manager.var(defined_var("CONFIG_64BIT"))
+    print("constraint: CONFIG_64BIT is always enabled\n")
+
+    print("--- build-breaking configurations (#error) ---")
+    for condition, message in unit.error_conditions:
+        print(f"  {condition.to_expr_string()}: {message}")
+        under_constraint = condition & constraint
+        if not under_constraint.is_false():
+            print("    -> still reachable under the constraint: "
+                  f"{under_constraint.to_expr_string()}")
+
+    print("\n--- dead code blocks under the constraint ---")
+    choices = []
+    collect_choices(result.ast, manager.true, choices)
+    feasible = constraint & unit.feasible_condition
+    for condition, tokens in choices:
+        if (condition & feasible).is_false():
+            print(f"  unreachable when {constraint.to_expr_string()}: "
+                  f"{' '.join(tokens)} ...")
+            print(f"    (block condition: "
+                  f"{condition.to_expr_string()})")
+
+    print("\n--- per-block configuration counts ---")
+    variables = [v for v in manager.variable_names]
+    for condition, tokens in choices[:4]:
+        count = condition.sat_count(variables)
+        total = 2 ** len(variables)
+        print(f"  {' '.join(tokens[:4]):<36} enabled in "
+              f"{count}/{total} configurations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file keeps legacy
+``pip install -e .`` working on environments without the ``wheel``
+package (PEP 517 editable installs need it, ``setup.py develop`` does
+not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""SuperC reproduction: parsing all of C by taming the preprocessor.
+
+A from-scratch Python implementation of Gazzillo & Grimm's SuperC
+(PLDI 2012): a configuration-preserving preprocessor that resolves
+includes and macros while leaving static conditionals intact, and a
+Fork-Merge LR parser that produces a single AST — with static choice
+nodes — covering every configuration of a C compilation unit.
+
+Quick start::
+
+    from repro import parse_c
+
+    result = parse_c('''
+    #ifdef CONFIG_SMP
+    int nr_cpus = 8;
+    #else
+    int nr_cpus = 1;
+    #endif
+    ''')
+    result.ast          # AST with a StaticChoice for the conditional
+    result.ok           # every configuration parsed
+
+Package map: :mod:`repro.bdd` (presence conditions),
+:mod:`repro.lexer`, :mod:`repro.cpp` (configuration-preserving
+preprocessing), :mod:`repro.parser` (LALR + FMLR engines),
+:mod:`repro.cgrammar` (the C grammar and typedef context),
+:mod:`repro.baselines` (MAPR / TypeChef-proxy / gcc-like),
+:mod:`repro.corpus` (the synthetic kernel), and :mod:`repro.eval`
+(the paper's tables and figures).
+"""
+
+from repro.bdd import BDDManager
+from repro.cpp import (CompilationUnit, Conditional, DictFileSystem,
+                       Preprocessor, PreprocessorError,
+                       RealFileSystem, SimplePreprocessor)
+from repro.parser import Node, ParseError, StaticChoice
+from repro.parser.fmlr import (FMLROptions, FMLRParser,
+                               OPTIMIZATION_LEVELS, SubparserExplosion)
+from repro.superc import SuperC, SuperCResult, Timing, parse_c
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDDManager", "CompilationUnit", "Conditional", "DictFileSystem",
+    "FMLROptions", "FMLRParser", "Node", "OPTIMIZATION_LEVELS",
+    "ParseError", "Preprocessor", "PreprocessorError",
+    "RealFileSystem", "SimplePreprocessor", "StaticChoice", "SuperC",
+    "SuperCResult", "SubparserExplosion", "Timing", "parse_c",
+]

@@ -1,0 +1,24 @@
+"""Variability-aware analyses over all-configuration parse results."""
+
+from repro.analysis.blocks import (Block, allyes_assignment,
+                                   always_together, block_histogram,
+                                   collect_blocks,
+                                   configuration_coverage, dead_blocks,
+                                   mutually_exclusive)
+from repro.analysis.refactor import (Edit, RenameConflict, RenamePlan,
+                                     apply_edits, occurrences,
+                                     plan_rename, rename_in_files)
+from repro.analysis.symbols import (SymbolInfo, conditional_symbols,
+                                    file_scope_symbols,
+                                    multiply_declared)
+from repro.analysis.undeclared import UndeclaredUse, find_undeclared
+
+__all__ = [
+    "Block", "Edit", "RenameConflict", "RenamePlan", "SymbolInfo",
+    "UndeclaredUse", "allyes_assignment", "always_together",
+    "apply_edits", "block_histogram", "collect_blocks",
+    "conditional_symbols", "configuration_coverage", "dead_blocks",
+    "file_scope_symbols", "find_undeclared", "multiply_declared",
+    "mutually_exclusive", "occurrences", "plan_rename",
+    "rename_in_files",
+]

@@ -1,0 +1,142 @@
+"""Variability-aware rename refactoring.
+
+The paper motivates configuration-preserving parsing with automated
+refactorings (§1, §8): a rename must reach *every* configuration —
+occurrences inside disabled conditional branches included — or it
+silently breaks other configurations' builds.  This module provides a
+small library for planning and applying such renames on original
+source text, using the all-configuration AST's tokens (which carry
+positions and layout).
+
+Limits: the rename is lexical over the parsed unit — it does not chase
+the identifier into other compilation units, and it refuses (by
+default) to rename when the new name collides with an existing
+identifier in any configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.ast import iter_tokens
+
+
+class RenameConflict(Exception):
+    """The new name already occurs in some configuration."""
+
+
+class Edit:
+    """One text replacement at a source position."""
+
+    __slots__ = ("file", "line", "col", "old", "new")
+
+    def __init__(self, file: str, line: int, col: int, old: str,
+                 new: str):
+        self.file = file
+        self.line = line
+        self.col = col
+        self.old = old
+        self.new = new
+
+    def __repr__(self) -> str:
+        return (f"Edit({self.file}:{self.line}:{self.col} "
+                f"{self.old!r} -> {self.new!r})")
+
+
+class RenamePlan:
+    """All edits needed to rename one identifier everywhere."""
+
+    def __init__(self, old_name: str, new_name: str, edits: List[Edit]):
+        self.old_name = old_name
+        self.new_name = new_name
+        self.edits = edits
+
+    @property
+    def files(self) -> List[str]:
+        return sorted({edit.file for edit in self.edits})
+
+    def edits_for(self, path: str) -> List[Edit]:
+        return [edit for edit in self.edits if edit.file == path]
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+
+def occurrences(ast: Any, name: str) -> List[Token]:
+    """Every token spelling ``name`` across all configurations,
+    deduplicated by source position (shared tokens may be parsed in
+    several configurations but must be edited once)."""
+    seen: set = set()
+    out: List[Token] = []
+    for token in iter_tokens(ast):
+        if token.kind is not TokenKind.IDENTIFIER or \
+                token.text != name:
+            continue
+        key = (token.file, token.line, token.col)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(token)
+    return out
+
+
+def plan_rename(ast: Any, old_name: str, new_name: str,
+                allow_conflicts: bool = False) -> RenamePlan:
+    """Plan a rename of every occurrence in every configuration."""
+    if not _is_identifier(new_name):
+        raise ValueError(f"{new_name!r} is not a valid C identifier")
+    if not allow_conflicts:
+        clashes = occurrences(ast, new_name)
+        if clashes:
+            where = clashes[0]
+            raise RenameConflict(
+                f"{new_name!r} already occurs at "
+                f"{where.file}:{where.line}:{where.col}")
+    edits = [Edit(token.file, token.line, token.col, old_name,
+                  new_name)
+             for token in occurrences(ast, old_name)]
+    return RenamePlan(old_name, new_name, edits)
+
+
+def apply_edits(source: str, edits: List[Edit]) -> str:
+    """Apply edits (for one file) to its original text.
+
+    Edits are applied right-to-left per line so columns stay valid;
+    every edit is position-checked against the text first.
+    """
+    lines = source.splitlines(keepends=True)
+    ordered = sorted(edits, key=lambda e: (e.line, e.col), reverse=True)
+    for edit in ordered:
+        if edit.line - 1 >= len(lines):
+            raise ValueError(f"edit beyond end of file: {edit}")
+        line = lines[edit.line - 1]
+        start = edit.col - 1
+        end = start + len(edit.old)
+        if line[start:end] != edit.old:
+            raise ValueError(
+                f"position drift at {edit.file}:{edit.line}:{edit.col}:"
+                f" expected {edit.old!r}, found {line[start:end]!r}")
+        lines[edit.line - 1] = line[:start] + edit.new + line[end:]
+    return "".join(lines)
+
+
+def rename_in_files(plan: RenamePlan,
+                    files: Dict[str, str]) -> Dict[str, str]:
+    """Apply a plan to a mapping of path -> source text; returns the
+    changed files only."""
+    changed: Dict[str, str] = {}
+    for path in plan.files:
+        if path not in files:
+            continue  # e.g. tokens from <builtin> pseudo-files
+        changed[path] = apply_edits(files[path], plan.edits_for(path))
+    return changed
+
+
+def _is_identifier(name: str) -> bool:
+    if not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in name[1:])

@@ -1,0 +1,173 @@
+"""Configuration-aware symbol extraction.
+
+A first step toward the paper's future work (§8): configuration-
+preserving *semantic* analysis, which "will require incorporating
+presence conditions into all functionality, including by maintaining
+multiply-defined symbols".  This module extracts file-scope symbols —
+functions, variables, typedefs, struct/union/enum tags — each tagged
+with the presence condition under which it is declared, from the
+all-configuration AST.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.ast import Node, StaticChoice
+
+
+class SymbolInfo:
+    """One declared name with its presence condition and kind."""
+
+    __slots__ = ("name", "kind", "condition", "line")
+
+    def __init__(self, name: str, kind: str, condition: Any,
+                 line: Optional[int]):
+        self.name = name
+        self.kind = kind  # function / variable / typedef / tag
+        self.condition = condition
+        self.line = line
+
+    def __repr__(self) -> str:
+        return (f"SymbolInfo({self.name!r}, {self.kind}, "
+                f"{self.condition.to_expr_string()})")
+
+
+def file_scope_symbols(ast: Any, manager: Any) -> List[SymbolInfo]:
+    """All file-scope symbols with presence conditions."""
+    symbols: List[SymbolInfo] = []
+    for condition, declaration in _external_declarations(ast,
+                                                         manager.true):
+        symbols.extend(_symbols_of(declaration, condition))
+    return symbols
+
+
+def conditional_symbols(symbols: List[SymbolInfo]) -> List[SymbolInfo]:
+    """Symbols that exist only in some configurations."""
+    return [symbol for symbol in symbols
+            if not symbol.condition.is_true()]
+
+
+def multiply_declared(symbols: List[SymbolInfo]) \
+        -> Dict[str, List[SymbolInfo]]:
+    """Names declared more than once (usually in different
+    configurations — e.g. one definition per #ifdef branch)."""
+    by_name: Dict[str, List[SymbolInfo]] = {}
+    for symbol in symbols:
+        by_name.setdefault(symbol.name, []).append(symbol)
+    return {name: entries for name, entries in by_name.items()
+            if len(entries) > 1}
+
+
+def _external_declarations(ast: Any, condition: Any) \
+        -> Iterator[Tuple[Any, Node]]:
+    """Yield (condition, declaration-or-definition) at file scope."""
+    if isinstance(ast, tuple):
+        for item in ast:
+            yield from _external_declarations(item, condition)
+    elif isinstance(ast, StaticChoice):
+        for branch_cond, branch in ast.branches:
+            yield from _external_declarations(branch,
+                                              condition & branch_cond)
+    elif isinstance(ast, Node):
+        if ast.name in ("Declaration", "FunctionDefinition"):
+            yield condition, ast
+        elif ast.name == "TranslationUnit":
+            for child in ast.children:
+                yield from _external_declarations(child, condition)
+
+
+def _symbols_of(node: Node, condition: Any) -> List[SymbolInfo]:
+    symbols: List[SymbolInfo] = []
+    if node.name == "FunctionDefinition":
+        name_token = _declarator_identifier(
+            node.children[1] if len(node.children) > 1
+            else node.children[0])
+        if name_token is not None:
+            symbols.append(SymbolInfo(name_token.text, "function",
+                                      condition, name_token.line))
+        return symbols
+    # Declaration: children = (specifiers, declarators?, ';').
+    children = node.children
+    specifiers = children[0] if children else ()
+    is_typedef = _mentions_keyword(specifiers, "typedef")
+    symbols.extend(_tags_of(specifiers, condition))
+    if len(children) >= 2:
+        for name_token in _declared_names(children[1]):
+            kind = "typedef" if is_typedef else "variable"
+            symbols.append(SymbolInfo(name_token.text, kind, condition,
+                                      name_token.line))
+    return symbols
+
+
+def _tags_of(value: Any, condition: Any) -> List[SymbolInfo]:
+    tags: List[SymbolInfo] = []
+    from repro.cgrammar import C_KEYWORDS
+    if isinstance(value, Node):
+        if value.name in ("StructSpecifier", "StructReference",
+                          "EnumSpecifier", "EnumReference"):
+            for child in value.children:
+                # Skip the struct/union/enum keyword itself (keywords
+                # are lexed as identifiers).
+                if isinstance(child, Token) and \
+                        child.kind is TokenKind.IDENTIFIER and \
+                        child.text not in C_KEYWORDS:
+                    tags.append(SymbolInfo(child.text, "tag", condition,
+                                           child.line))
+                    break
+        for child in value.children:
+            tags.extend(_tags_of(child, condition))
+    elif isinstance(value, tuple):
+        for item in value:
+            tags.extend(_tags_of(item, condition))
+    return tags
+
+
+def _declared_names(value: Any) -> Iterator[Token]:
+    if isinstance(value, Token):
+        if value.kind is TokenKind.IDENTIFIER:
+            yield value
+    elif isinstance(value, tuple):
+        for item in value:
+            yield from _declared_names(item)
+    elif isinstance(value, StaticChoice):
+        for _cond, branch in value.branches:
+            yield from _declared_names(branch)
+    elif isinstance(value, Node):
+        token = _declarator_identifier(value)
+        if token is not None:
+            yield token
+
+
+def _declarator_identifier(value: Any) -> Optional[Token]:
+    if isinstance(value, Token):
+        return value if value.kind is TokenKind.IDENTIFIER else None
+    if not isinstance(value, Node):
+        return None
+    name = value.name
+    children = value.children
+    if not children:
+        return None
+    if name == "PointerDeclarator":
+        return _declarator_identifier(children[-1])
+    if name in ("ArrayDeclarator", "FunctionDeclarator",
+                "InitializedDeclarator", "AsmDeclarator", "BitField"):
+        return _declarator_identifier(children[0])
+    if name == "AttributedDeclarator":
+        return _declarator_identifier(children[-1])
+    return None
+
+
+def _mentions_keyword(value: Any, keyword: str) -> bool:
+    if isinstance(value, Token):
+        return value.text == keyword
+    if isinstance(value, tuple):
+        return any(_mentions_keyword(item, keyword) for item in value)
+    if isinstance(value, StaticChoice):
+        return any(_mentions_keyword(branch, keyword)
+                   for _cond, branch in value.branches)
+    if isinstance(value, Node):
+        return any(_mentions_keyword(child, keyword)
+                   for child in value.children)
+    return False

@@ -1,0 +1,387 @@
+"""Variability-aware undeclared-identifier analysis.
+
+The paper's future work (§8) is configuration-preserving *semantic*
+analysis with multiply-defined symbols.  This module is a first such
+analysis: it walks the all-configuration AST with a conditional scoped
+environment and reports identifier uses that are undeclared in *some*
+configurations — the classic Linux bug class where a declaration sits
+under ``#ifdef CONFIG_FOO`` but a use does not.
+
+Scope and precision:
+
+* declarations tracked: file-scope declarations and definitions,
+  function parameters, block-scope declarations, enum constants,
+  function names;
+* uses tracked: identifiers in expression position (member names,
+  designators, goto labels, struct tags, and typedef uses are not
+  object-namespace uses and are skipped);
+* calls to functions with no visible declaration are reported as
+  ``implicit-function`` (C89 implicit declaration) separately from
+  object uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.ast import Node, StaticChoice
+
+
+class UndeclaredUse:
+    """One use that is undeclared under ``condition``."""
+
+    __slots__ = ("name", "token", "condition", "kind")
+
+    def __init__(self, name: str, token: Optional[Token],
+                 condition: Any, kind: str):
+        self.name = name
+        self.token = token
+        self.condition = condition
+        self.kind = kind  # "object" or "implicit-function"
+
+    def __repr__(self) -> str:
+        where = ""
+        if self.token is not None:
+            where = f"{self.token.file}:{self.token.line}: "
+        return (f"UndeclaredUse({where}{self.name!r} [{self.kind}] "
+                f"when {self.condition.to_expr_string()})")
+
+
+class _Env:
+    """Conditional scoped environment: name -> defined-condition."""
+
+    def __init__(self, manager: Any):
+        self.manager = manager
+        self.scopes: List[Dict[str, Any]] = [{}]
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, condition: Any) -> None:
+        scope = self.scopes[-1]
+        existing = scope.get(name, self.manager.false)
+        scope[name] = existing | condition
+
+    def declared_condition(self, name: str) -> Any:
+        result = self.manager.false
+        for scope in self.scopes:
+            if name in scope:
+                result = result | scope[name]
+        return result
+
+
+def find_undeclared(ast: Any, manager: Any,
+                    externals: Tuple[str, ...] = ()) \
+        -> List[UndeclaredUse]:
+    """Report uses undeclared in some feasible configuration.
+
+    ``externals`` names identifiers assumed declared elsewhere (other
+    translation units, the standard library).
+    """
+    env = _Env(manager)
+    for name in externals:
+        env.declare(name, manager.true)
+    analysis = _Analysis(manager, env)
+    analysis.walk_unit(ast, manager.true)
+    return analysis.findings
+
+
+class _Analysis:
+    def __init__(self, manager: Any, env: _Env):
+        self.manager = manager
+        self.env = env
+        self.findings: List[UndeclaredUse] = []
+        self._reported: Dict[Tuple[str, int, int, str], Any] = {}
+
+    # -- structure -----------------------------------------------------------
+
+    def walk_unit(self, value: Any, condition: Any) -> None:
+        """File scope: declarations and definitions in order."""
+        if isinstance(value, tuple):
+            for element in value:
+                self.walk_unit(element, condition)
+        elif isinstance(value, StaticChoice):
+            for branch_cond, branch in value.branches:
+                self.walk_unit(branch, condition & branch_cond)
+        elif isinstance(value, Node):
+            if value.name == "FunctionDefinition":
+                self._function_definition(value, condition)
+            elif value.name == "Declaration":
+                self._declaration(value, condition)
+            else:
+                for child in value.children:
+                    self.walk_unit(child, condition)
+
+    def _declaration(self, node: Node, condition: Any) -> None:
+        children = node.children
+        specifiers = children[0] if children else ()
+        self._collect_enum_constants(specifiers, condition)
+        if len(children) >= 2:
+            # Initializers are uses evaluated before registration is
+            # complete in C, but self-reference is legal; register
+            # first, then analyze initializer expressions.
+            for name in _declarator_names(children[1]):
+                self.env.declare(name, condition)
+            self._uses_in_initializers(children[1], condition)
+
+    def _collect_enum_constants(self, value: Any,
+                                condition: Any) -> None:
+        if isinstance(value, Node):
+            if value.name == "Enumerator" and value.children:
+                first = value.children[0]
+                if isinstance(first, Token):
+                    self.env.declare(first.text, condition)
+                # Enumerator values are constant expressions: uses.
+                for child in value.children[1:]:
+                    self.expression(child, condition)
+                return
+            for child in value.children:
+                self._collect_enum_constants(child, condition)
+        elif isinstance(value, tuple):
+            for element in value:
+                self._collect_enum_constants(element, condition)
+        elif isinstance(value, StaticChoice):
+            for branch_cond, branch in value.branches:
+                self._collect_enum_constants(branch,
+                                             condition & branch_cond)
+
+    def _uses_in_initializers(self, value: Any, condition: Any) -> None:
+        if isinstance(value, Node):
+            if value.name == "InitializedDeclarator":
+                self.expression(value.children[-1], condition)
+                return
+            for child in value.children:
+                self._uses_in_initializers(child, condition)
+        elif isinstance(value, tuple):
+            for element in value:
+                self._uses_in_initializers(element, condition)
+        elif isinstance(value, StaticChoice):
+            for branch_cond, branch in value.branches:
+                self._uses_in_initializers(branch,
+                                           condition & branch_cond)
+
+    def _function_definition(self, node: Node, condition: Any) -> None:
+        children = node.children
+        declarator = children[-2] if len(children) >= 2 else None
+        body = children[-1]
+        name = _declarator_name(declarator)
+        if name is not None:
+            self.env.declare(name, condition)
+        self.env.push()
+        if declarator is not None:
+            for param in _parameter_names(declarator):
+                self.env.declare(param, condition)
+        self.statement(body, condition, new_scope=False)
+        self.env.pop()
+
+    # -- statements -------------------------------------------------------------
+
+    def statement(self, value: Any, condition: Any,
+                  new_scope: bool = True) -> None:
+        if isinstance(value, StaticChoice):
+            for branch_cond, branch in value.branches:
+                self.statement(branch, condition & branch_cond,
+                               new_scope)
+            return
+        if isinstance(value, tuple):
+            for element in value:
+                self.statement(element, condition)
+            return
+        if not isinstance(value, Node):
+            return
+        name = value.name
+        if name == "CompoundStatement":
+            if new_scope:
+                self.env.push()
+            for child in value.children:
+                self.statement(child, condition)
+            if new_scope:
+                self.env.pop()
+        elif name == "Declaration":
+            self._declaration(value, condition)
+        elif name == "FunctionDefinition":
+            self._function_definition(value, condition)
+        elif name == "ExpressionStatement":
+            for child in value.children:
+                self.expression(child, condition)
+        elif name in ("IfStatement", "IfElseStatement",
+                      "SwitchStatement", "WhileStatement"):
+            # children: kw ( Expression ) Statement [else Statement]
+            self.expression(value.children[2], condition)
+            for child in value.children[3:]:
+                self.statement(child, condition)
+        elif name == "DoStatement":
+            self.statement(value.children[1], condition)
+            self.expression(value.children[4], condition)
+        elif name == "ForStatement":
+            self.env.push()
+            for child in value.children[2:-2]:
+                if isinstance(child, Node) and child.name == \
+                        "Declaration":
+                    self._declaration(child, condition)
+                else:
+                    self.expression(child, condition)
+            self.statement(value.children[-1], condition)
+            self.env.pop()
+        elif name == "ReturnStatement":
+            for child in value.children[1:]:
+                self.expression(child, condition)
+        elif name in ("CaseStatement", "DefaultStatement",
+                      "LabeledStatement", "CaseRangeStatement"):
+            for child in value.children[1:]:
+                self.statement(child, condition)
+                if name in ("CaseStatement", "CaseRangeStatement"):
+                    break  # the expression child handled below
+            if name in ("CaseStatement", "CaseRangeStatement"):
+                self.expression(value.children[1], condition)
+                self.statement(value.children[-1], condition)
+        elif name in ("GotoStatement", "ContinueStatement",
+                      "BreakStatement", "EmptyStatement",
+                      "AsmStatement", "LocalLabelDeclaration"):
+            return
+        else:
+            # Conservatively treat remaining node kinds structurally.
+            for child in value.children:
+                self.statement(child, condition)
+
+    # -- expressions ------------------------------------------------------------
+
+    def expression(self, value: Any, condition: Any) -> None:
+        if isinstance(value, Token):
+            if value.kind is TokenKind.IDENTIFIER:
+                self._use(value, condition, "object")
+            return
+        if isinstance(value, StaticChoice):
+            for branch_cond, branch in value.branches:
+                self.expression(branch, condition & branch_cond)
+            return
+        if isinstance(value, tuple):
+            for element in value:
+                self.expression(element, condition)
+            return
+        if not isinstance(value, Node):
+            return
+        name = value.name
+        if name in ("DirectSelection", "IndirectSelection"):
+            self.expression(value.children[0], condition)
+            return  # the member name is not an object use
+        if name == "FunctionCall":
+            callee = value.children[0]
+            if isinstance(callee, Token) and \
+                    callee.kind is TokenKind.IDENTIFIER:
+                self._use(callee, condition, "implicit-function")
+            else:
+                self.expression(callee, condition)
+            for child in value.children[1:]:
+                self.expression(child, condition)
+            return
+        if name in ("SizeofType", "AlignofType", "CastExpression",
+                    "CompoundLiteral", "VaArg", "OffsetofExpression"):
+            # Type operands are not object uses; expression operands
+            # are.
+            for child in value.children:
+                if isinstance(child, Node) and child.name == "TypeName":
+                    continue
+                if isinstance(child, Token):
+                    continue
+                self.expression(child, condition)
+            return
+        if name == "StatementExpression":
+            for child in value.children:
+                self.statement(child, condition)
+            return
+        if name == "LabelAddress":
+            return
+        for child in value.children:
+            self.expression(child, condition)
+
+    def _use(self, token: Token, condition: Any, kind: str) -> None:
+        declared = self.env.declared_condition(token.text)
+        missing = condition & ~declared
+        if missing.is_false():
+            return
+        key = (token.text, token.line, token.col, kind)
+        previous = self._reported.get(key)
+        if previous is not None:
+            missing = missing | previous
+        self._reported[key] = missing
+        self.findings = [f for f in self.findings
+                         if (f.name, f.token.line if f.token else 0,
+                             f.token.col if f.token else 0, f.kind)
+                         != key]
+        self.findings.append(UndeclaredUse(token.text, token, missing,
+                                           kind))
+
+
+# -- declarator helpers ------------------------------------------------------
+
+
+def _declarator_name(value: Any) -> Optional[str]:
+    if isinstance(value, Token):
+        return value.text if value.kind is TokenKind.IDENTIFIER \
+            else None
+    if isinstance(value, Node):
+        children = value.children
+        if not children:
+            return None
+        if value.name == "PointerDeclarator":
+            return _declarator_name(children[-1])
+        if value.name in ("ArrayDeclarator", "FunctionDeclarator",
+                          "InitializedDeclarator", "AsmDeclarator",
+                          "BitField"):
+            return _declarator_name(children[0])
+        if value.name == "AttributedDeclarator":
+            return _declarator_name(children[-1])
+    return None
+
+
+def _declarator_names(value: Any) -> List[str]:
+    names: List[str] = []
+    if isinstance(value, tuple):
+        for element in value:
+            names.extend(_declarator_names(element))
+    elif isinstance(value, StaticChoice):
+        for _cond, branch in value.branches:
+            names.extend(_declarator_names(branch))
+    else:
+        name = _declarator_name(value)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def _parameter_names(declarator: Any) -> List[str]:
+    """Parameter names of a function declarator."""
+    names: List[str] = []
+    if isinstance(declarator, Node):
+        if declarator.name == "FunctionDeclarator":
+            for child in declarator.children[1:]:
+                names.extend(_parameters_of(child))
+            return names
+        for child in declarator.children:
+            names.extend(_parameter_names(child))
+    return names
+
+
+def _parameters_of(value: Any) -> List[str]:
+    names: List[str] = []
+    if isinstance(value, tuple):
+        for element in value:
+            names.extend(_parameters_of(element))
+    elif isinstance(value, StaticChoice):
+        for _cond, branch in value.branches:
+            names.extend(_parameters_of(branch))
+    elif isinstance(value, Node):
+        if value.name == "ParameterDeclaration" and \
+                len(value.children) >= 2:
+            name = _declarator_name(value.children[1])
+            if name is not None:
+                names.append(name)
+        else:
+            for child in value.children:
+                names.extend(_parameters_of(child))
+    return names

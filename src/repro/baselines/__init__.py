@@ -1,0 +1,9 @@
+"""Baselines: MAPR (an FMLR option set), TypeChef-proxy, gcc-like."""
+
+from repro.baselines.gcc_like import GccLike, GccLikeResult, allyesconfig
+from repro.baselines.typechef import Formula, FormulaManager
+
+__all__ = [
+    "Formula", "FormulaManager", "GccLike", "GccLikeResult",
+    "allyesconfig",
+]

@@ -1,0 +1,8 @@
+"""Hash-consed ROBDD library used for presence conditions.
+
+See :mod:`repro.bdd.bdd` for the implementation.
+"""
+
+from repro.bdd.bdd import BDDManager, BDDNode
+
+__all__ = ["BDDManager", "BDDNode"]

@@ -1,0 +1,449 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+SuperC represents presence conditions as BDDs (the paper uses JavaBDD):
+they are canonical, so two boolean functions are equal if and only if
+their BDD representations are the same node, which makes infeasibility
+testing (``c == FALSE``) and condition comparison constant time.
+
+This module is a self-contained, hash-consed ROBDD implementation with
+the operations the preprocessor and FMLR parser need: negation,
+conjunction, disjunction, implication, equivalence, restriction,
+satisfiability, and model enumeration.
+
+Variables are interned by name in a :class:`BDDManager`; variable order
+is the order of first registration.  All nodes created by one manager
+may be freely combined with each other but never with nodes from another
+manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class BDDNode:
+    """A node in the shared BDD DAG.
+
+    Terminal nodes have ``var is None`` and carry ``value`` True/False.
+    Internal nodes test ``var`` (an integer index) and branch to ``low``
+    (var=False) and ``high`` (var=True).  Nodes are hash-consed by the
+    manager: structural equality is identity.
+    """
+
+    __slots__ = ("var", "low", "high", "value", "manager", "_id")
+
+    def __init__(self, manager: "BDDManager", var: Optional[int],
+                 low: Optional["BDDNode"], high: Optional["BDDNode"],
+                 value: Optional[bool], node_id: int):
+        self.manager = manager
+        self.var = var
+        self.low = low
+        self.high = high
+        self.value = value
+        self._id = node_id
+
+    # -- structure ---------------------------------------------------
+
+    def is_terminal(self) -> bool:
+        """Return True for the constant nodes TRUE and FALSE."""
+        return self.var is None
+
+    def is_true(self) -> bool:
+        """Return True only for the constant TRUE node."""
+        return self.var is None and self.value is True
+
+    def is_false(self) -> bool:
+        """Return True only for the constant FALSE node."""
+        return self.var is None and self.value is False
+
+    # -- boolean algebra ---------------------------------------------
+
+    def __invert__(self) -> "BDDNode":
+        return self.manager.apply_not(self)
+
+    def __and__(self, other: "BDDNode") -> "BDDNode":
+        return self.manager.apply_and(self, other)
+
+    def __or__(self, other: "BDDNode") -> "BDDNode":
+        return self.manager.apply_or(self, other)
+
+    def __xor__(self, other: "BDDNode") -> "BDDNode":
+        return self.manager.apply_xor(self, other)
+
+    def implies(self, other: "BDDNode") -> "BDDNode":
+        """Return the BDD for ``self -> other``."""
+        return self.manager.apply_or(self.manager.apply_not(self), other)
+
+    def equiv(self, other: "BDDNode") -> "BDDNode":
+        """Return the BDD for ``self <-> other``."""
+        return self.manager.apply_not(self.manager.apply_xor(self, other))
+
+    # -- queries -----------------------------------------------------
+
+    def is_satisfiable(self) -> bool:
+        """A reduced BDD is satisfiable iff it is not the FALSE node."""
+        return not self.is_false()
+
+    def is_tautology(self) -> bool:
+        """A reduced BDD is a tautology iff it is the TRUE node."""
+        return self.is_true()
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a total assignment of variable names.
+
+        Missing variables default to False, matching the preprocessor
+        convention that unset configuration variables are undefined.
+        """
+        node = self
+        names = self.manager._names
+        while not node.is_terminal():
+            if assignment.get(names[node.var], False):
+                node = node.high
+            else:
+                node = node.low
+        return bool(node.value)
+
+    def restrict(self, assignment: Dict[str, bool]) -> "BDDNode":
+        """Partially evaluate: fix some variables to constants."""
+        by_index = {
+            self.manager._index[name]: value
+            for name, value in assignment.items()
+            if name in self.manager._index
+        }
+        return self.manager._restrict(self, by_index, {})
+
+    def support(self) -> Tuple[str, ...]:
+        """Return the names of variables this function depends on."""
+        seen: set = set()
+        stack = [self]
+        visited: set = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in visited or node.is_terminal():
+                continue
+            visited.add(id(node))
+            seen.add(node.var)
+            stack.append(node.low)
+            stack.append(node.high)
+        return tuple(self.manager._names[v] for v in sorted(seen))
+
+    def sat_count(self, variables: Optional[Iterable[str]] = None) -> int:
+        """Count satisfying assignments over ``variables``.
+
+        Defaults to the variables in this node's support.
+        """
+        names = tuple(variables) if variables is not None else self.support()
+        for name in names:
+            self.manager.var(name)  # register any not-yet-seen variables
+        order = sorted(self.manager._index[n] for n in names)
+        for name in self.support():
+            if self.manager._index[name] not in order:
+                raise ValueError(
+                    "sat_count variables must cover the support; "
+                    f"missing {name!r}")
+        cache: Dict[Tuple[int, int], int] = {}
+
+        def count(node: "BDDNode", depth: int) -> int:
+            # depth indexes into `order`; free variables between levels
+            # multiply the count by two.
+            if node.is_terminal():
+                return (1 << (len(order) - depth)) if node.value else 0
+            key = (node._id, depth)
+            if key in cache:
+                return cache[key]
+            level = order.index(node.var)
+            factor = 1 << (level - depth)
+            result = factor * (count(node.low, level + 1) +
+                               count(node.high, level + 1))
+            cache[key] = result
+            return result
+
+        return count(self, 0)
+
+    def one_sat(self) -> Optional[Dict[str, bool]]:
+        """Return one satisfying partial assignment, or None."""
+        if self.is_false():
+            return None
+        names = self.manager._names
+        assignment: Dict[str, bool] = {}
+        node = self
+        while not node.is_terminal():
+            if not node.low.is_false():
+                assignment[names[node.var]] = False
+                node = node.low
+            else:
+                assignment[names[node.var]] = True
+                node = node.high
+        return assignment
+
+    def all_sat(self) -> Iterator[Dict[str, bool]]:
+        """Yield all satisfying partial assignments (cube enumeration)."""
+        if self.is_false():
+            return
+        names = self.manager._names
+
+        def walk(node: "BDDNode",
+                 partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
+            if node.is_terminal():
+                if node.value:
+                    yield dict(partial)
+                return
+            name = names[node.var]
+            partial[name] = False
+            yield from walk(node.low, partial)
+            partial[name] = True
+            yield from walk(node.high, partial)
+            del partial[name]
+
+        yield from walk(self, {})
+
+    # -- rendering ---------------------------------------------------
+
+    def to_expr_string(self) -> str:
+        """Render as a DNF-ish string of satisfying cubes (for messages)."""
+        if self.is_true():
+            return "1"
+        if self.is_false():
+            return "0"
+        cubes = []
+        for cube in itertools.islice(self.all_sat(), 8):
+            terms = [name if value else "!" + name
+                     for name, value in sorted(cube.items())]
+            cubes.append(" && ".join(terms) if terms else "1")
+        rendered = " || ".join(cubes)
+        if sum(1 for _ in itertools.islice(self.all_sat(), 9)) > 8:
+            rendered += " || ..."
+        return rendered
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_terminal():
+            return "BDD(TRUE)" if self.value else "BDD(FALSE)"
+        return f"BDD({self.to_expr_string()})"
+
+    def __hash__(self) -> int:
+        return self._id
+
+    # Equality is identity (hash-consing guarantees canonicity); we do
+    # not override __eq__ so `==` stays `is`-like for nodes of one
+    # manager, which keeps set/dict membership fast.
+
+
+class BDDManager:
+    """Creates, interns, and combines BDD nodes.
+
+    One manager per analysis run; the preprocessor and the parser share
+    a single manager so presence conditions stay comparable.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], BDDNode] = {}
+        self._not_cache: Dict[int, BDDNode] = {}
+        self._next_id = 0
+        self.false = self._terminal(False)
+        self.true = self._terminal(True)
+
+    # -- node construction -------------------------------------------
+
+    def _terminal(self, value: bool) -> BDDNode:
+        node = BDDNode(self, None, None, None, value, self._next_id)
+        self._next_id += 1
+        return node
+
+    def _mk(self, var: int, low: BDDNode, high: BDDNode) -> BDDNode:
+        if low is high:
+            return low
+        key = (var, low._id, high._id)
+        node = self._unique.get(key)
+        if node is None:
+            node = BDDNode(self, var, low, high, None, self._next_id)
+            self._next_id += 1
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> BDDNode:
+        """Return (creating if needed) the BDD for a variable."""
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._names)
+            self._names.append(name)
+            self._index[name] = index
+        return self._mk(index, self.false, self.true)
+
+    def nvar(self, name: str) -> BDDNode:
+        """Return the BDD for a negated variable."""
+        return self.apply_not(self.var(name))
+
+    def constant(self, value: bool) -> BDDNode:
+        """Return the TRUE or FALSE terminal."""
+        return self.true if value else self.false
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    def num_nodes(self) -> int:
+        """Number of live interned internal nodes (for instrumentation)."""
+        return len(self._unique)
+
+    # -- apply -------------------------------------------------------
+
+    def apply_not(self, node: BDDNode) -> BDDNode:
+        cached = self._not_cache.get(node._id)
+        if cached is not None:
+            return cached
+        if node.is_terminal():
+            result = self.false if node.value else self.true
+        else:
+            result = self._mk(node.var, self.apply_not(node.low),
+                              self.apply_not(node.high))
+        self._not_cache[node._id] = result
+        return result
+
+    def _apply(self, op: str, left: BDDNode, right: BDDNode) -> BDDNode:
+        # Shannon expansion on the smaller top variable; terminal cases
+        # are dispatched per operator below.
+        if op == "and":
+            if left.is_false() or right.is_false():
+                return self.false
+            if left.is_true():
+                return right
+            if right.is_true():
+                return left
+            if left is right:
+                return left
+        elif op == "or":
+            if left.is_true() or right.is_true():
+                return self.true
+            if left.is_false():
+                return right
+            if right.is_false():
+                return left
+            if left is right:
+                return left
+        elif op == "xor":
+            if left is right:
+                return self.false
+            if left.is_false():
+                return right
+            if right.is_false():
+                return left
+            if left.is_true():
+                return self.apply_not(right)
+            if right.is_true():
+                return self.apply_not(left)
+        # Normalize operand order for the commutative cache.
+        if left._id > right._id:
+            left, right = right, left
+        key = (op, left._id, right._id)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        left_var = left.var if left.var is not None else float("inf")
+        right_var = right.var if right.var is not None else float("inf")
+        if left_var == right_var:
+            var = left.var
+            low = self._apply(op, left.low, right.low)
+            high = self._apply(op, left.high, right.high)
+        elif left_var < right_var:
+            var = left.var
+            low = self._apply(op, left.low, right)
+            high = self._apply(op, left.high, right)
+        else:
+            var = right.var
+            low = self._apply(op, left, right.low)
+            high = self._apply(op, left, right.high)
+        result = self._mk(var, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    def apply_and(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        self._check(left, right)
+        return self._apply("and", left, right)
+
+    def apply_or(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        self._check(left, right)
+        return self._apply("or", left, right)
+
+    def apply_xor(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        self._check(left, right)
+        return self._apply("xor", left, right)
+
+    def conjoin(self, nodes: Iterable[BDDNode]) -> BDDNode:
+        """AND together an iterable of nodes (TRUE for empty)."""
+        result = self.true
+        for node in nodes:
+            result = self.apply_and(result, node)
+        return result
+
+    def disjoin(self, nodes: Iterable[BDDNode]) -> BDDNode:
+        """OR together an iterable of nodes (FALSE for empty)."""
+        result = self.false
+        for node in nodes:
+            result = self.apply_or(result, node)
+        return result
+
+    # -- quantification ------------------------------------------------
+
+    def exists(self, names: Iterable[str], node: BDDNode) -> BDDNode:
+        """Existential quantification: ∃names. node."""
+        result = node
+        for name in names:
+            index = self._index.get(name)
+            if index is None:
+                continue
+            low = self._restrict(result, {index: False}, {})
+            high = self._restrict(result, {index: True}, {})
+            result = self.apply_or(low, high)
+        return result
+
+    def forall(self, names: Iterable[str], node: BDDNode) -> BDDNode:
+        """Universal quantification: ∀names. node."""
+        result = node
+        for name in names:
+            index = self._index.get(name)
+            if index is None:
+                continue
+            low = self._restrict(result, {index: False}, {})
+            high = self._restrict(result, {index: True}, {})
+            result = self.apply_and(low, high)
+        return result
+
+    def project_onto(self, names: Iterable[str],
+                     node: BDDNode) -> BDDNode:
+        """Quantify away every variable *not* in ``names``: the
+        condition's shadow on a chosen sub-space of configuration
+        variables (useful to ask "which CONFIG_FOO settings can enable
+        this block?")."""
+        keep = set(names)
+        others = [name for name in node.support() if name not in keep]
+        return self.exists(others, node)
+
+    # -- restriction --------------------------------------------------
+
+    def _restrict(self, node: BDDNode, fixed: Dict[int, bool],
+                  cache: Dict[int, BDDNode]) -> BDDNode:
+        if node.is_terminal():
+            return node
+        cached = cache.get(node._id)
+        if cached is not None:
+            return cached
+        if node.var in fixed:
+            branch = node.high if fixed[node.var] else node.low
+            result = self._restrict(branch, fixed, cache)
+        else:
+            result = self._mk(node.var,
+                              self._restrict(node.low, fixed, cache),
+                              self._restrict(node.high, fixed, cache))
+        cache[node._id] = result
+        return result
+
+    # -- internal -----------------------------------------------------
+
+    def _check(self, left: BDDNode, right: BDDNode) -> None:
+        if left.manager is not self or right.manager is not self:
+            raise ValueError("cannot combine BDD nodes from different "
+                             "managers")

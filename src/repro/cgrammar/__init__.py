@@ -1,0 +1,68 @@
+"""The C grammar, token classification, and typedef context."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Optional
+
+from repro.cgrammar.classify import (CONSTANT, IDENTIFIER, STRING,
+                                     TYPEDEF_NAME, classify)
+from repro.cgrammar.grammar_def import (C_KEYWORDS, GNU_ALIASES,
+                                        build_c_grammar)
+from repro.cgrammar.typedefs import (CContext, SymbolStats,
+                                     make_context_factory)
+from repro.parser.lalr import Tables, generate
+
+_TABLES: Optional[Tables] = None
+
+
+def _cache_path(key: str) -> str:
+    root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-superc")
+    return os.path.join(root, f"ctables-{key}.pickle")
+
+
+def _grammar_key(grammar) -> str:
+    digest = hashlib.sha256()
+    for production in grammar.productions:
+        digest.update(repr((production.lhs, production.rhs,
+                            production.build.value,
+                            production.node_name)).encode())
+    digest.update(repr(sorted(grammar.complete)).encode())
+    return digest.hexdigest()[:16]
+
+
+def c_tables(use_cache: bool = True) -> Tables:
+    """LALR tables for the C grammar (generated once per process and
+    cached on disk across processes)."""
+    global _TABLES
+    if _TABLES is not None:
+        return _TABLES
+    grammar = build_c_grammar()
+    key = _grammar_key(grammar)
+    path = _cache_path(key)
+    if use_cache and os.path.exists(path):
+        try:
+            with open(path, "rb") as handle:
+                _TABLES = pickle.load(handle)
+            return _TABLES
+        except Exception:
+            pass  # fall through to regeneration
+    _TABLES = generate(grammar)
+    if use_cache:
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as handle:
+                pickle.dump(_TABLES, handle)
+        except OSError:
+            pass
+    return _TABLES
+
+
+__all__ = [
+    "CContext", "CONSTANT", "C_KEYWORDS", "GNU_ALIASES", "IDENTIFIER",
+    "STRING", "SymbolStats", "TYPEDEF_NAME", "build_c_grammar",
+    "c_tables", "classify", "make_context_factory",
+]

@@ -1,0 +1,34 @@
+"""Token classification: lexer tokens to grammar terminals.
+
+The lexer emits plain identifiers (any identifier may be a macro name
+during preprocessing); the parser front-end maps identifier text onto
+keyword terminals, normalizes GNU alternate spellings, and folds
+numeric and character constants into CONSTANT.  Typedef names are
+*not* decided here — that is the context plug-in's reclassify job
+(§5.2), since it depends on the conditional symbol table.
+"""
+
+from __future__ import annotations
+
+from repro.cgrammar.grammar_def import C_KEYWORDS, GNU_ALIASES
+from repro.lexer.tokens import Token, TokenKind
+
+IDENTIFIER = "IDENTIFIER"
+TYPEDEF_NAME = "TYPEDEF_NAME"
+CONSTANT = "CONSTANT"
+STRING = "STRING"
+
+
+def classify(token: Token) -> str:
+    """Map a token to its base grammar terminal."""
+    kind = token.kind
+    if kind is TokenKind.IDENTIFIER:
+        text = GNU_ALIASES.get(token.text, token.text)
+        if text in C_KEYWORDS:
+            return text
+        return IDENTIFIER
+    if kind in (TokenKind.NUMBER, TokenKind.CHARACTER):
+        return CONSTANT
+    if kind is TokenKind.STRING:
+        return STRING
+    return token.text

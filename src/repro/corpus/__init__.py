@@ -1,0 +1,6 @@
+"""Synthetic Linux-like kernel corpus (the evaluation substrate)."""
+
+from repro.corpus.generator import (KernelCorpus, KernelSpec,
+                                    generate_kernel)
+
+__all__ = ["KernelCorpus", "KernelSpec", "generate_kernel"]

@@ -1,0 +1,201 @@
+"""Converting conditional expressions into presence conditions (§3.2).
+
+After macro expansion and hoisting, a conditional expression combines
+four kinds of subexpressions, converted as:
+
+1. a constant → ``false`` if zero, else ``true``;
+2. a free macro → a BDD variable (``value:NAME``);
+3. an arithmetic subexpression → a BDD variable keyed by its
+   normalized text (``expr:TEXT``) — there is no efficient way to
+   compare arbitrary polynomials, so they stay opaque and their
+   branches' ordering is preserved;
+4. ``defined(M)`` → the disjunction of conditions under which M is
+   defined; for free M it is a variable (``defined:M``) unless M is a
+   guard macro, in which case it is ``false`` (matching gcc's guard
+   optimization).
+
+The mapping from expressions to variables is maintained by the shared
+:class:`BDDManager`, so repeated occurrences translate to the same
+variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.bdd import BDDManager, BDDNode
+from repro.cpp.expression import Expr
+
+# BDD variable name prefixes; structured so tests can reconstruct the
+# meaning of every variable.
+DEFINED_PREFIX = "defined:"
+VALUE_PREFIX = "value:"
+EXPR_PREFIX = "expr:"
+
+
+def defined_var(name: str) -> str:
+    return DEFINED_PREFIX + name
+
+
+def value_var(name: str) -> str:
+    return VALUE_PREFIX + name
+
+
+def expr_var(text: str) -> str:
+    return EXPR_PREFIX + text
+
+
+class _Value:
+    """Abstract value during conversion: constant, boolean, or opaque."""
+
+    __slots__ = ("const", "bdd", "opaque")
+
+    def __init__(self, const: Optional[int] = None,
+                 bdd: Optional[BDDNode] = None,
+                 opaque: Optional[str] = None):
+        self.const = const
+        self.bdd = bdd
+        self.opaque = opaque
+
+    @property
+    def is_const(self) -> bool:
+        return self.const is not None
+
+    @property
+    def is_bool(self) -> bool:
+        return self.bdd is not None
+
+
+class ConditionConverter:
+    """Turns expression ASTs into BDDs against a macro-state oracle.
+
+    ``defined_condition(name)`` must return the BDD condition under
+    which ``name`` has a macro definition, or None when the name is
+    free (then rules 4a/4b apply).  ``is_guard(name)`` identifies guard
+    macros for rule 4a.
+    """
+
+    def __init__(self, manager: BDDManager,
+                 defined_condition: Callable[[str], Optional[BDDNode]],
+                 is_guard: Callable[[str], bool] = lambda name: False):
+        self.manager = manager
+        self.defined_condition = defined_condition
+        self.is_guard = is_guard
+        self.non_boolean_count = 0  # Table 3: conditionals w/ non-boolean
+
+    # -- public -----------------------------------------------------------
+
+    def to_bdd(self, expr: Expr) -> BDDNode:
+        """Convert a parsed conditional expression into a BDD."""
+        return self._as_bdd(self._convert(expr))
+
+    # -- conversion --------------------------------------------------------
+
+    def _as_bdd(self, value: _Value) -> BDDNode:
+        if value.is_bool:
+            return value.bdd
+        if value.is_const:
+            return self.manager.constant(value.const != 0)
+        return self._opaque_bdd(value.opaque)
+
+    def _opaque_bdd(self, text: str) -> BDDNode:
+        """A variable for opaque text: value:NAME for bare free macros,
+        expr:TEXT (counted as non-boolean) for arithmetic."""
+        if _is_name(text):
+            return self.manager.var(value_var(text))
+        self.non_boolean_count += 1
+        return self.manager.var(expr_var(text))
+
+    def _convert(self, expr: Expr) -> _Value:
+        kind = expr.kind
+        if kind == "int":
+            return _Value(const=expr.value)
+        if kind == "ident":
+            # A free macro used for its value; in boolean position it
+            # becomes a variable, in arithmetic it stays opaque text.
+            return _Value(opaque=expr.text)
+        if kind == "defined":
+            return _Value(bdd=self._defined(expr.name))
+        if kind == "unary":
+            return self._unary(expr)
+        if kind == "binary":
+            return self._binary(expr)
+        if kind == "ternary":
+            return self._ternary(expr)
+        raise AssertionError(f"unknown expression kind {kind!r}")
+
+    def _defined(self, name: str) -> BDDNode:
+        condition = self.defined_condition(name)
+        if condition is not None:
+            return condition
+        if self.is_guard(name):
+            return self.manager.false  # rule 4a
+        return self.manager.var(defined_var(name))  # rule 4b
+
+    def _boolify(self, value: _Value) -> BDDNode:
+        """Coerce to boolean; a bare free macro becomes value:NAME."""
+        if value.is_bool:
+            return value.bdd
+        if value.is_const:
+            return self.manager.constant(value.const != 0)
+        return self._opaque_bdd(value.opaque)
+
+    def _unary(self, expr: Expr) -> _Value:
+        operand = self._convert(expr.operands[0])
+        op = expr.op
+        if op == "!":
+            return _Value(bdd=~self._boolify(operand))
+        if operand.is_const:
+            if op == "-":
+                return _Value(const=-operand.const)
+            if op == "~":
+                return _Value(const=~operand.const)
+            return _Value(const=operand.const)
+        return _Value(opaque=expr.text)
+
+    def _binary(self, expr: Expr) -> _Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._boolify(self._convert(expr.operands[0]))
+            right = self._boolify(self._convert(expr.operands[1]))
+            return _Value(bdd=(left & right) if op == "&&"
+                          else (left | right))
+        left = self._convert(expr.operands[0])
+        right = self._convert(expr.operands[1])
+        if left.is_const and right.is_const:
+            from repro.cpp.expression import evaluate_int
+            folded = evaluate_int(expr, lambda _n: False, lambda _n: 0)
+            return _Value(const=folded)
+        if (left.is_bool or right.is_bool) and op in ("==", "!="):
+            # Comparisons mixing booleans: treat as boolean equivalence
+            # against a constant where possible.
+            if left.is_bool and right.is_const:
+                bdd = left.bdd if right.const else ~left.bdd
+                return _Value(bdd=bdd if op == "==" else ~bdd)
+            if right.is_bool and left.is_const:
+                bdd = right.bdd if left.const else ~right.bdd
+                return _Value(bdd=bdd if op == "==" else ~bdd)
+        # Anything else is a non-boolean subexpression: opaque text.
+        return _Value(opaque=expr.text)
+
+    def _ternary(self, expr: Expr) -> _Value:
+        cond = self._boolify(self._convert(expr.operands[0]))
+        if cond.is_true():
+            return self._convert(expr.operands[1])
+        if cond.is_false():
+            return self._convert(expr.operands[2])
+        then = self._convert(expr.operands[1])
+        other = self._convert(expr.operands[2])
+        if then.is_const and other.is_const and \
+                then.const in (0, 1) and other.const in (0, 1):
+            then_bdd = self.manager.constant(bool(then.const))
+            other_bdd = self.manager.constant(bool(other.const))
+            return _Value(bdd=(cond & then_bdd) | (~cond & other_bdd))
+        if then.is_bool or other.is_bool:
+            return _Value(bdd=(cond & self._boolify(then)) |
+                          (~cond & self._boolify(other)))
+        return _Value(opaque=expr.text)
+
+
+def _is_name(text: str) -> bool:
+    return text.replace("_", "a").isalnum() and not text[0].isdigit()

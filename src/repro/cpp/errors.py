@@ -1,0 +1,28 @@
+"""Preprocessor error types."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lexer.tokens import Token
+
+
+class PreprocessorError(Exception):
+    """A hard preprocessing error (malformed directive, bad paste,
+    unterminated invocation, or a ``#error`` outside conditionals)."""
+
+    def __init__(self, message: str, token: Optional[Token] = None):
+        where = ""
+        if token is not None:
+            where = f"{token.file}:{token.line}:{token.col}: "
+        super().__init__(where + message)
+        self.token = token
+
+
+class IncompleteInvocation(Exception):
+    """Internal: a function-like invocation ran off the end of a
+    conditional branch; the caller must hoist a wider region."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name

@@ -1,0 +1,294 @@
+"""Parsing and evaluating ``#if`` conditional expressions.
+
+One parser produces a small expression AST; two evaluators consume it:
+
+* :func:`evaluate_int` — the plain C semantics (remaining identifiers
+  are 0), used by the single-configuration oracle preprocessor, and
+* the BDD conversion in :mod:`repro.cpp.conditions` (§3.2), which maps
+  constants, free macros, ``defined`` invocations, and opaque
+  arithmetic subexpressions onto boolean structure.
+
+Every AST node carries its normalized source text (whitespace and
+comments removed) so that repeated occurrences of the same non-boolean
+subexpression map to the same BDD variable (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.lexer.tokens import Token, TokenKind
+
+
+class ExprError(Exception):
+    """Malformed conditional expression."""
+
+
+class Expr:
+    """One expression AST node.
+
+    ``kind`` is one of: int, ident, defined, unary, binary, ternary.
+    ``text`` is the normalized source text of the whole subexpression.
+    """
+
+    __slots__ = ("kind", "op", "operands", "value", "name", "text")
+
+    def __init__(self, kind: str, text: str, op: str = "",
+                 operands: Tuple["Expr", ...] = (),
+                 value: int = 0, name: str = ""):
+        self.kind = kind
+        self.text = text
+        self.op = op
+        self.operands = operands
+        self.value = value
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Expr({self.kind}, {self.text!r})"
+
+
+# Binary operator precedence (higher binds tighter); all left-assoc.
+_BINARY_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39,
+            '"': 34, "a": 7, "b": 8, "f": 12, "v": 11}
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = [t for t in tokens
+                       if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+        self.pos = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ExprError("unexpected end of conditional expression")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        token = self.next()
+        if token.text != text:
+            raise ExprError(f"expected {text!r}, found {token.text!r}")
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.ternary()
+        if self.peek() is not None:
+            raise ExprError(
+                f"trailing tokens in conditional expression: "
+                f"{self.peek().text!r}")
+        return expr
+
+    def ternary(self) -> Expr:
+        cond = self.binary(1)
+        token = self.peek()
+        if token is not None and token.is_punctuator("?"):
+            self.next()
+            then = self.ternary()
+            self.expect(":")
+            other = self.ternary()
+            text = f"{cond.text}?{then.text}:{other.text}"
+            return Expr("ternary", text, operands=(cond, then, other))
+        return cond
+
+    def binary(self, min_prec: int) -> Expr:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token is None or token.kind is not TokenKind.PUNCTUATOR:
+                return left
+            prec = _BINARY_PREC.get(token.text)
+            if prec is None or prec < min_prec:
+                return left
+            op = self.next().text
+            right = self.binary(prec + 1)
+            left = Expr("binary", f"{left.text}{op}{right.text}",
+                        op=op, operands=(left, right))
+
+    def unary(self) -> Expr:
+        token = self.peek()
+        if token is None:
+            raise ExprError("unexpected end of conditional expression")
+        if token.kind is TokenKind.PUNCTUATOR and token.text in "!~+-":
+            op = self.next().text
+            operand = self.unary()
+            return Expr("unary", f"{op}{operand.text}", op=op,
+                        operands=(operand,))
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self.next()
+        if token.is_punctuator("("):
+            inner = self.ternary()
+            self.expect(")")
+            return Expr(inner.kind, f"({inner.text})", op=inner.op,
+                        operands=inner.operands, value=inner.value,
+                        name=inner.name)
+        if token.kind is TokenKind.NUMBER:
+            return Expr("int", token.text, value=parse_int(token.text))
+        if token.kind is TokenKind.CHARACTER:
+            return Expr("int", token.text, value=parse_char(token.text))
+        if token.is_identifier("defined"):
+            after = self.peek()
+            if after is not None and after.is_punctuator("("):
+                self.next()
+                name = self.next()
+                self.expect(")")
+            else:
+                name = self.next()
+            if name.kind is not TokenKind.IDENTIFIER:
+                raise ExprError("operand of 'defined' must be a name")
+            return Expr("defined", f"defined({name.text})", name=name.text)
+        if token.kind is TokenKind.IDENTIFIER:
+            return Expr("ident", token.text, name=token.text)
+        raise ExprError(
+            f"unexpected token in conditional expression: {token.text!r}")
+
+
+def parse_expression(tokens: Sequence[Token]) -> Expr:
+    """Parse a ``#if`` expression from already-expanded tokens."""
+    return _Parser(tokens).parse()
+
+
+def parse_int(text: str) -> int:
+    """Parse a C integer literal (suffixes stripped, any base)."""
+    body = text.rstrip("uUlL")
+    try:
+        if body.lower().startswith("0x"):
+            return int(body, 16)
+        if body.lower().startswith("0b"):
+            return int(body, 2)
+        if body.startswith("0") and len(body) > 1:
+            return int(body, 8)
+        return int(body, 10)
+    except ValueError:
+        raise ExprError(f"invalid integer constant {text!r}") from None
+
+
+def parse_char(text: str) -> int:
+    """Evaluate a character constant to its integer value."""
+    body = text[1:-1] if not text.startswith("L") else text[2:-1]
+    if body.startswith("\\"):
+        rest = body[1:]
+        if rest and rest[0] in _ESCAPES and len(rest) == 1:
+            return _ESCAPES[rest[0]]
+        if rest.startswith("x"):
+            return int(rest[1:], 16)
+        if rest and rest[0].isdigit():
+            return int(rest, 8)
+        raise ExprError(f"invalid escape in character constant {text!r}")
+    if len(body) != 1:
+        raise ExprError(f"invalid character constant {text!r}")
+    return ord(body)
+
+
+def evaluate_int(expr: Expr,
+                 is_defined: Callable[[str], bool],
+                 value_of: Callable[[str], int]) -> int:
+    """Plain C evaluation: used by the single-configuration oracle.
+
+    ``value_of`` supplies values for identifiers that survive macro
+    expansion; per C semantics these are normally 0.
+    """
+    kind = expr.kind
+    if kind == "int":
+        return expr.value
+    if kind == "ident":
+        return value_of(expr.name)
+    if kind == "defined":
+        return 1 if is_defined(expr.name) else 0
+    if kind == "unary":
+        value = evaluate_int(expr.operands[0], is_defined, value_of)
+        if expr.op == "!":
+            return 0 if value else 1
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        return value
+    if kind == "ternary":
+        cond, then, other = expr.operands
+        if evaluate_int(cond, is_defined, value_of):
+            return evaluate_int(then, is_defined, value_of)
+        return evaluate_int(other, is_defined, value_of)
+    # binary
+    op = expr.op
+    left = evaluate_int(expr.operands[0], is_defined, value_of)
+    if op == "&&":
+        if not left:
+            return 0
+        return 1 if evaluate_int(expr.operands[1], is_defined, value_of) \
+            else 0
+    if op == "||":
+        if left:
+            return 1
+        return 1 if evaluate_int(expr.operands[1], is_defined, value_of) \
+            else 0
+    right = evaluate_int(expr.operands[1], is_defined, value_of)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExprError("division by zero in conditional expression")
+        return int(left / right)  # C truncates toward zero
+    if op == "%":
+        if right == 0:
+            raise ExprError("division by zero in conditional expression")
+        return left - int(left / right) * right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    raise ExprError(f"unknown operator {op!r}")
+
+
+def collect_identifiers(expr: Expr) -> List[str]:
+    """All bare identifiers in the expression (free macros after
+    expansion), excluding ``defined`` operands."""
+    names: List[str] = []
+
+    def walk(node: Expr) -> None:
+        if node.kind == "ident":
+            names.append(node.name)
+        for operand in node.operands:
+            walk(operand)
+
+    walk(expr)
+    return names

@@ -1,0 +1,90 @@
+"""Hoisting static conditionals (Algorithm 1, §3.1).
+
+Preprocessor operations — function-like invocations, token pasting,
+stringification, computed includes, conditional expressions — are only
+defined over ordinary tokens.  ``hoist`` rewrites a mixed sequence of
+tokens and conditionals into a single conditional whose branches are
+*flat* token lists: ordinary tokens are appended to every branch, and
+each embedded conditional multiplies the branch set (the cross product
+``C × B`` of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.cpp.tree import Conditional, TokenTree
+from repro.lexer.tokens import Token
+
+# A hoisted result: mutually exclusive (condition, flat tokens) pairs
+# covering the input condition.
+HoistedBranches = List[Tuple[Any, List[Token]]]
+
+
+def hoist(condition: Any, items: TokenTree) -> HoistedBranches:
+    """Flatten ``items`` under ``condition`` per Algorithm 1.
+
+    Every branch of the result has a mutually exclusive presence
+    condition; together they cover ``condition`` exactly (implicit
+    else-branches are materialized as empty token lists).  Infeasible
+    combinations (condition simplifies to false) are dropped.
+    """
+    # C <- [(c, [])]: one empty branch covering everything.
+    result: HoistedBranches = [(condition, [])]
+    for item in items:
+        if isinstance(item, Token):
+            # Ordinary tokens occur in every embedded configuration.
+            for _, tokens in result:
+                tokens.append(item)
+            continue
+        # item is a conditional: recursively hoist each branch, tracking
+        # the remainder for the implicit else-branch.
+        hoisted_branches: HoistedBranches = []
+        remainder = condition
+        for branch_cond, subtree in item.branches:
+            remainder = remainder & ~branch_cond
+            for sub_cond, tokens in hoist(branch_cond, subtree):
+                hoisted_branches.append((sub_cond, tokens))
+        if not remainder.is_false():
+            hoisted_branches.append((remainder, []))
+        # C <- C x B.
+        combined: HoistedBranches = []
+        for left_cond, left_tokens in result:
+            for right_cond, right_tokens in hoisted_branches:
+                joint = left_cond & right_cond
+                if joint.is_false():
+                    continue
+                combined.append((joint, left_tokens + right_tokens))
+        result = combined
+    return result
+
+
+def branch_count(items: TokenTree, condition: Any) -> int:
+    """How many branches hoisting would produce (without building them);
+    used to guard against pathological blow-up."""
+    total = 1
+    for item in items:
+        if isinstance(item, Conditional):
+            per_item = 0
+            remainder = condition
+            for branch_cond, subtree in item.branches:
+                remainder = remainder & ~branch_cond
+                per_item += branch_count(subtree, branch_cond)
+            if not remainder.is_false():
+                per_item += 1
+            total *= max(per_item, 1)
+    return total
+
+
+def unhoist(branches: HoistedBranches) -> TokenTree:
+    """Wrap hoisted branches back into a tree item list.
+
+    A single branch splices inline; several become one Conditional.
+    """
+    live = [(cond, list(tokens)) for cond, tokens in branches
+            if not cond.is_false()]
+    if not live:
+        return []
+    if len(live) == 1:
+        return list(live[0][1])
+    return [Conditional([(cond, list(tokens)) for cond, tokens in live])]

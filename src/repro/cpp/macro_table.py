@@ -1,0 +1,188 @@
+"""The conditional macro table (§2.1, Table 1 "Macro (Un)Definition").
+
+Definitions and undefinitions for one macro may appear in different
+branches of static conditionals, creating multiply-defined macros whose
+meaning depends on the configuration (Figure 2).  The table therefore
+records, per name, a *history* of events, each tagged with the presence
+condition of its ``#define``/``#undef`` directive; a lookup replays the
+history up to the requesting token's table version, trimming infeasible
+entries, and returns a partition of the lookup condition into entries:
+
+* a :class:`MacroDefinition` — the macro is defined this way here,
+* ``UNDEFINED`` — explicitly ``#undef``'ed,
+* ``FREE`` — never defined nor undefined: a configuration variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lexer.tokens import Token
+
+
+class MacroDefinition:
+    """One ``#define`` body, object-like or function-like."""
+
+    __slots__ = ("name", "params", "variadic", "body", "is_builtin",
+                 "va_name")
+
+    def __init__(self, name: str, body: Sequence[Token],
+                 params: Optional[Sequence[str]] = None,
+                 variadic: bool = False, is_builtin: bool = False,
+                 va_name: Optional[str] = None):
+        self.name = name
+        self.body = list(body)
+        self.params = list(params) if params is not None else None
+        self.variadic = variadic
+        self.is_builtin = is_builtin
+        # GNU named variadic (`args...`): the name that collects the
+        # rest arguments instead of __VA_ARGS__.
+        self.va_name = va_name
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+    def same_definition(self, other: "MacroDefinition") -> bool:
+        """Token-wise equality, used to detect benign redefinition."""
+        if (self.params is None) != (other.params is None):
+            return False
+        if self.params != other.params or self.variadic != other.variadic:
+            return False
+        if len(self.body) != len(other.body):
+            return False
+        return all(a.same_text(b) for a, b in zip(self.body, other.body))
+
+    def __repr__(self) -> str:
+        if self.is_function_like:
+            params = ", ".join(self.params +
+                               (["..."] if self.variadic else []))
+            return f"#define {self.name}({params}) <{len(self.body)} tokens>"
+        return f"#define {self.name} <{len(self.body)} tokens>"
+
+
+class _State:
+    """Sentinel entry states for undefined/free names."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+UNDEFINED = _State("UNDEFINED")
+FREE = _State("FREE")
+
+
+class MacroTable:
+    """Versioned, condition-tagged macro definitions.
+
+    Every mutation bumps ``version``; lookups take the version of the
+    *use site* so that text whose expansion is deferred (e.g. across a
+    pending function-like invocation) still sees the right state.
+    """
+
+    def __init__(self, bdd_manager: Any):
+        self._mgr = bdd_manager
+        # name -> list of (version, condition, MacroDefinition|UNDEFINED)
+        self._events: Dict[str, List[Tuple[int, Any, Any]]] = {}
+        self.version = 0
+        # Instrumentation (Table 3 rows).
+        self.definition_count = 0
+        self.redefinition_count = 0
+        self.trimmed_count = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def define(self, definition: MacroDefinition, condition: Any) -> int:
+        """Record a definition under ``condition``; returns new version."""
+        if condition.is_false():
+            return self.version
+        self.version += 1
+        events = self._events.setdefault(definition.name, [])
+        if any(isinstance(entry, MacroDefinition)
+               for _, prior_cond, entry in events
+               if not (prior_cond & condition).is_false()):
+            self.redefinition_count += 1
+        events.append((self.version, condition, definition))
+        self.definition_count += 1
+        return self.version
+
+    def undefine(self, name: str, condition: Any) -> int:
+        """Record an ``#undef`` under ``condition``."""
+        if condition.is_false():
+            return self.version
+        self.version += 1
+        self._events.setdefault(name, []).append(
+            (self.version, condition, UNDEFINED))
+        return self.version
+
+    def define_builtin(self, name: str, body_text: str = "",
+                       params: Optional[Sequence[str]] = None) -> None:
+        """Install a compiler built-in (ground truth, §2.1)."""
+        from repro.lexer import lex
+        from repro.lexer.tokens import TokenKind
+        body = [t for t in lex(body_text, filename=f"<builtin:{name}>")
+                if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+        self.define(MacroDefinition(name, body, params, is_builtin=True),
+                    self._mgr.true)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, name: str, condition: Any,
+               version: Optional[int] = None) \
+            -> List[Tuple[Any, Any]]:
+        """Partition ``condition`` into macro states at ``version``.
+
+        Returns ``[(sub-condition, entry)]`` where entry is a
+        MacroDefinition, UNDEFINED, or FREE; sub-conditions are mutually
+        exclusive, non-false, and disjoin to ``condition``.  Infeasible
+        entries are trimmed (and counted).
+        """
+        if condition.is_false():
+            return []
+        if version is None:
+            version = self.version
+        remaining = condition
+        entries: List[Tuple[Any, Any]] = []
+        events = self._events.get(name, ())
+        # Later events shadow earlier ones, so replay newest-first
+        # against the still-unclaimed condition.
+        for event_version, event_cond, entry in reversed(events):
+            if event_version > version:
+                continue
+            claimed = remaining & event_cond
+            if claimed.is_false():
+                self.trimmed_count += 1
+                continue
+            entries.append((claimed, entry))
+            remaining = remaining & ~event_cond
+            if remaining.is_false():
+                break
+        if not remaining.is_false():
+            entries.append((remaining, FREE))
+        return entries
+
+    def is_free(self, name: str, condition: Any,
+                version: Optional[int] = None) -> bool:
+        """True if the name is free (a config variable) everywhere in
+        ``condition``."""
+        entries = self.lookup(name, condition, version)
+        return all(entry is FREE for _, entry in entries)
+
+    def defined_condition(self, name: str, condition: Any,
+                          version: Optional[int] = None) -> Any:
+        """The sub-condition of ``condition`` under which the name has
+        a definition (used for ``defined(M)`` with non-free M)."""
+        defined = self._mgr.false
+        for sub_cond, entry in self.lookup(name, condition, version):
+            if isinstance(entry, MacroDefinition):
+                defined = defined | sub_cond
+        return defined
+
+    def known_names(self) -> List[str]:
+        """All names that have any definition or undefinition events."""
+        return sorted(self._events)

@@ -1,0 +1,145 @@
+"""The configuration-preserving token tree.
+
+The preprocessor's output is a *compilation unit*: a list of ordinary
+tokens and :class:`Conditional` nodes.  Each conditional holds branches
+``(presence condition, subtree)`` — the only preprocessor construct
+that survives preprocessing (§2, Figure 1b).
+
+``project`` resolves a tree onto one configuration, which is the basis
+of the differential oracle against the plain single-configuration
+preprocessor (the Python analogue of the paper's ``gcc -E``
+comparison, §6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple, Union
+
+from repro.lexer.tokens import Token
+
+TreeItem = Union[Token, "Conditional"]
+TokenTree = List[TreeItem]
+
+
+class Conditional:
+    """A static conditional: ordered branches with presence conditions.
+
+    Branch conditions are mutually exclusive.  If they do not disjoin
+    to the enclosing condition, the remainder is an implicit empty
+    else-branch (the preprocessor materializes explicit empty branches
+    only when needed for hoisting).
+
+    Convention: branch conditions are *relative* — consumers conjoin
+    them with the enclosing presence condition while descending
+    (nested conditionals' conditions conjoin, §2.1).  Conditions
+    produced from ``#if`` evaluation may already be conjoined with
+    their context; since conjunction is idempotent, both readings
+    compose safely.
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: List[Tuple[Any, TokenTree]]):
+        self.branches = branches
+
+    def __repr__(self) -> str:
+        return f"Conditional({len(self.branches)} branches)"
+
+
+def iter_tokens(tree: TokenTree) -> Iterator[Token]:
+    """All tokens in document order, descending into every branch."""
+    for item in tree:
+        if isinstance(item, Conditional):
+            for _, subtree in item.branches:
+                yield from iter_tokens(subtree)
+        else:
+            yield item
+
+
+def project(tree: TokenTree, assignment: Dict[str, bool]) -> List[Token]:
+    """Resolve all conditionals under a total assignment of BDD
+    variables, returning the flat token sequence of one configuration."""
+    out: List[Token] = []
+    for item in tree:
+        if isinstance(item, Conditional):
+            for condition, subtree in item.branches:
+                if condition.evaluate(assignment):
+                    out.extend(project(subtree, assignment))
+                    break
+        else:
+            out.append(item)
+    return out
+
+
+def count_conditionals(tree: TokenTree) -> int:
+    """Number of Conditional nodes in the tree (all nesting levels)."""
+    total = 0
+    for item in tree:
+        if isinstance(item, Conditional):
+            total += 1
+            for _, subtree in item.branches:
+                total += count_conditionals(subtree)
+    return total
+
+
+def max_depth(tree: TokenTree) -> int:
+    """Maximum conditional nesting depth."""
+    deepest = 0
+    for item in tree:
+        if isinstance(item, Conditional):
+            for _, subtree in item.branches:
+                deepest = max(deepest, 1 + max_depth(subtree))
+    return deepest
+
+
+def token_count(tree: TokenTree) -> int:
+    """Total number of tokens across all branches."""
+    return sum(1 for _ in iter_tokens(tree))
+
+
+def is_flat(tree: TokenTree) -> bool:
+    """True if the tree contains no conditionals."""
+    return all(isinstance(item, Token) for item in tree)
+
+
+def map_conditions(tree: TokenTree,
+                   fn: Callable[[Any], Any]) -> TokenTree:
+    """Rebuild a tree with every presence condition mapped through
+    ``fn`` (used by the TypeChef-proxy baseline to swap the condition
+    algebra)."""
+    out: TokenTree = []
+    for item in tree:
+        if isinstance(item, Conditional):
+            out.append(Conditional([
+                (fn(condition), map_conditions(subtree, fn))
+                for condition, subtree in item.branches]))
+        else:
+            out.append(item)
+    return out
+
+
+def render(tree: TokenTree, indent: int = 0,
+           condition_str: Callable[[Any], str] = None) -> str:
+    """Debug rendering of a token tree as an outline."""
+    pad = "  " * indent
+    lines: List[str] = []
+    buffer: List[str] = []
+
+    def flush() -> None:
+        if buffer:
+            lines.append(pad + " ".join(buffer))
+            buffer.clear()
+
+    for item in tree:
+        if isinstance(item, Conditional):
+            flush()
+            for condition, subtree in item.branches:
+                rendered = condition_str(condition) if condition_str \
+                    else condition.to_expr_string()
+                lines.append(pad + f"#[{rendered}]")
+                lines.append(render(subtree, indent + 1, condition_str))
+            lines.append(pad + "#[end]")
+        else:
+            buffer.append(item.text)
+    flush()
+    return "\n".join(line for line in lines if line)

@@ -1,0 +1,19 @@
+"""Evaluation instrumentation for the paper's tables and figures."""
+
+from repro.eval.latency import (LatencyDistribution, LatencySample,
+                                measure_gcc_like, measure_superc,
+                                measure_typechef_proxy, unit_size_bytes)
+from repro.eval.subparsers import (SubparserDistribution, figure8,
+                                   measure_level)
+from repro.eval.usage import (DirectiveCounts, TOOLS_VIEW_ROWS,
+                              developers_view, percentiles,
+                              tools_view, top_included_headers,
+                              unit_statistics)
+
+__all__ = [
+    "DirectiveCounts", "LatencyDistribution", "LatencySample",
+    "SubparserDistribution", "TOOLS_VIEW_ROWS", "developers_view",
+    "figure8", "measure_gcc_like", "measure_level", "measure_superc",
+    "measure_typechef_proxy", "percentiles", "tools_view",
+    "top_included_headers", "unit_size_bytes", "unit_statistics",
+]

@@ -1,0 +1,111 @@
+"""Subparser-count measurements: Figure 8.
+
+The number of subparsers per iteration of FMLR's main loop captures
+both fork pressure (breadth of conditionals) and merge success
+(incidence of partial C constructs in conditionals).  Figure 8a
+reports the 99th percentile and maximum across all iterations of all
+compilation units, per optimization level; Figure 8b the cumulative
+distribution.  MAPR triggers a kill switch (the paper uses 16,000) on
+most units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus import KernelCorpus
+from repro.parser.fmlr import (FMLROptions, OPTIMIZATION_LEVELS,
+                               SubparserExplosion)
+from repro.superc import SuperC
+
+
+class SubparserDistribution:
+    """Pooled per-iteration subparser counts for one optimization
+    level."""
+
+    def __init__(self, level: str, counts: List[int],
+                 exploded_units: int, total_units: int,
+                 kill_switch: int):
+        self.level = level
+        self.counts = counts
+        self.exploded_units = exploded_units
+        self.total_units = total_units
+        self.kill_switch = kill_switch
+
+    @property
+    def maximum(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def percentile(self, p: float) -> int:
+        if not self.counts:
+            return 0
+        ordered = sorted(self.counts)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(p * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(0.99)
+
+    def cdf(self, points: Optional[List[int]] = None) \
+            -> List[Tuple[int, float]]:
+        """Cumulative distribution: fraction of iterations with count
+        <= x (Figure 8b)."""
+        if not self.counts:
+            return []
+        ordered = sorted(self.counts)
+        if points is None:
+            points = sorted(set(ordered))
+        total = len(ordered)
+        out: List[Tuple[int, float]] = []
+        index = 0
+        for point in points:
+            while index < total and ordered[index] <= point:
+                index += 1
+            out.append((point, index / total))
+        return out
+
+    def describe(self) -> str:
+        if self.exploded_units:
+            return (f">{self.kill_switch} on "
+                    f"{100 * self.exploded_units // self.total_units}% "
+                    "of comp. units")
+        return f"99th%={self.p99}  max={self.maximum}"
+
+
+def measure_level(corpus: KernelCorpus, level: str,
+                  options: Optional[FMLROptions] = None,
+                  kill_switch: int = 16000) -> SubparserDistribution:
+    """Parse every unit at one optimization level, pooling counts."""
+    base = options or OPTIMIZATION_LEVELS[level]
+    opts = FMLROptions(follow_set=base.follow_set,
+                       lazy_shifts=base.lazy_shifts,
+                       shared_reduces=base.shared_reduces,
+                       early_reduces=base.early_reduces,
+                       mapr_largest_first=base.mapr_largest_first,
+                       choice_merging=base.choice_merging,
+                       kill_switch=kill_switch)
+    superc = SuperC(corpus.filesystem(),
+                    include_paths=corpus.include_paths, options=opts)
+    counts: List[int] = []
+    exploded = 0
+    for unit in corpus.units:
+        try:
+            result = superc.parse_file(unit)
+            counts.extend(result.parse.stats.subparser_counts)
+        except SubparserExplosion:
+            exploded += 1
+    return SubparserDistribution(level, counts, exploded,
+                                 len(corpus.units), kill_switch)
+
+
+def figure8(corpus: KernelCorpus,
+            levels: Optional[List[str]] = None,
+            kill_switch: int = 16000) \
+        -> Dict[str, SubparserDistribution]:
+    """All optimization levels of Figure 8."""
+    chosen = levels if levels is not None else list(OPTIMIZATION_LEVELS)
+    return {level: measure_level(corpus, level,
+                                 kill_switch=kill_switch)
+            for level in chosen}

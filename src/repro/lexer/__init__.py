@@ -1,0 +1,14 @@
+"""C lexer with layout-preserving tokens."""
+
+from repro.lexer.lexer import Lexer, LexerError, lex, lex_logical_lines
+from repro.lexer.tokens import Token, TokenKind, render_tokens
+
+__all__ = [
+    "Lexer",
+    "LexerError",
+    "Token",
+    "TokenKind",
+    "lex",
+    "lex_logical_lines",
+    "render_tokens",
+]

@@ -1,0 +1,18 @@
+"""LR parsing substrate: grammars, LALR(1) generation, plain LR, FMLR."""
+
+from repro.parser.ast import (Node, StaticChoice, count_choice_nodes,
+                              count_nodes, dump, iter_tokens, make_choice,
+                              project)
+from repro.parser.context import ParserContext
+from repro.parser.grammar import (AUGMENTED, END, Assoc, Build, Grammar,
+                                  GrammarError, Production)
+from repro.parser.lalr import Conflict, Tables, generate
+from repro.parser.lr import LRParser, ParseError
+
+__all__ = [
+    "AUGMENTED", "END", "Assoc", "Build", "Conflict", "Grammar",
+    "GrammarError", "LRParser", "Node", "ParseError", "ParserContext",
+    "Production", "StaticChoice", "Tables", "count_choice_nodes",
+    "count_nodes", "dump", "generate", "iter_tokens", "make_choice",
+    "project",
+]

@@ -1,0 +1,239 @@
+"""AST nodes, static choice nodes, and annotation-driven construction.
+
+SuperC's AST facility (§5.1): by default a reduction creates a generic
+node named after the production with all children's semantic values;
+the ``layout``, ``passthrough``, ``list``, and ``action`` annotations
+override that default.  Static choice nodes embed configurations: each
+branch pairs a presence condition with an alternative subtree.
+
+Semantic values are immutable (nodes and tuples) because FMLR
+subparsers share stack tails after forking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.grammar import Build, Production
+
+
+class Node:
+    """A generic AST node: a name and a tuple of children.
+
+    Children are nodes, tokens, tuples (from ``list`` productions), or
+    :class:`StaticChoice` nodes.
+    """
+
+    __slots__ = ("name", "children")
+
+    def __init__(self, name: str, children: Tuple[Any, ...]):
+        self.name = name
+        self.children = children
+
+    def __repr__(self) -> str:
+        return f"Node({self.name}, {len(self.children)} children)"
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Node) and self.name == other.name
+                and self.children == other.children)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.children))
+
+
+class StaticChoice:
+    """A configuration choice point: ``(condition, subtree)`` branches.
+
+    The conditions of a choice node's branches are mutually exclusive;
+    each subtree is the parse of its branch's configuration(s).
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Tuple[Tuple[Any, Any], ...]):
+        self.branches = branches
+
+    def __repr__(self) -> str:
+        return f"StaticChoice({len(self.branches)} branches)"
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, StaticChoice)
+                and self.branches == other.branches)
+
+    def __hash__(self) -> int:
+        return hash(self.branches)
+
+
+def make_choice(branches: Sequence[Tuple[Any, Any]]) -> Any:
+    """Build a static choice node, flattening nested choices and
+    merging branches whose values are equal."""
+    flat: List[Tuple[Any, Any]] = []
+    for condition, value in branches:
+        if isinstance(value, StaticChoice):
+            for inner_cond, inner_value in value.branches:
+                flat.append((condition & inner_cond, inner_value))
+        else:
+            flat.append((condition, value))
+    merged: List[Tuple[Any, Any]] = []
+    for condition, value in flat:
+        for i, (other_cond, other_value) in enumerate(merged):
+            if other_value == value:
+                merged[i] = (other_cond | condition, value)
+                break
+        else:
+            merged.append((condition, value))
+    if len(merged) == 1:
+        return merged[0][1]
+    return StaticChoice(tuple(merged))
+
+
+def build_value(production: Production, values: Sequence[Any],
+                context: Any = None) -> Any:
+    """Construct the semantic value for a completed production."""
+    build = production.build
+    if build is Build.LAYOUT:
+        return None
+    if build is Build.PASSTHROUGH:
+        present = [v for v in values if v is not None]
+        if len(present) == 1:
+            return present[0]
+        # Bracketing punctuation does not block passthrough: `( E )`
+        # reuses E's value.  (SuperC marks punctuation `layout` in the
+        # grammar; treating bare punctuator tokens as layout here keeps
+        # grammar definitions terse.)
+        structured = [v for v in present
+                      if not (isinstance(v, Token)
+                              and v.kind is TokenKind.PUNCTUATOR)]
+        if len(structured) == 1:
+            return structured[0]
+        # Fall back to a generic node rather than guessing.
+        return Node(production.node_name, tuple(present))
+    if build is Build.LIST:
+        rhs = production.rhs
+        rest_start = 0
+        prefix: Tuple[Any, ...] = ()
+        if rhs and rhs[0] == production.lhs and isinstance(values[0], tuple):
+            prefix = values[0]
+            rest_start = 1
+        items = tuple(v for v in values[rest_start:] if v is not None)
+        return prefix + items
+    if build is Build.ACTION:
+        return production.action(values, context)
+    # Default: generic node, dropping layout'd (None) children.
+    return Node(production.node_name,
+                tuple(v for v in values if v is not None))
+
+
+# -- traversal and rendering ------------------------------------------------
+
+
+def iter_tokens(value: Any) -> Iterator[Token]:
+    """Yield all tokens in an AST in document order (all branches)."""
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Token):
+            yield current
+        elif isinstance(current, Node):
+            stack.extend(reversed(current.children))
+        elif isinstance(current, StaticChoice):
+            stack.extend(v for _, v in reversed(current.branches))
+        elif isinstance(current, tuple):
+            stack.extend(reversed(current))
+
+
+def project(value: Any, config: dict) -> Any:
+    """Project an AST onto one configuration: resolve every static
+    choice node under a total variable assignment."""
+    if isinstance(value, StaticChoice):
+        for condition, branch in value.branches:
+            if condition.evaluate(config):
+                return project(branch, config)
+        return None
+    if isinstance(value, Node):
+        children = []
+        for child in value.children:
+            projected = project(child, config)
+            if projected is not None or child is None:
+                children.append(projected)
+            elif isinstance(child, StaticChoice):
+                continue  # branch absent in this configuration
+        return Node(value.name, tuple(c for c in children if c is not None))
+    if isinstance(value, tuple):
+        out: List[Any] = []
+        for element in value:
+            projected = project(element, config)
+            if projected is None:
+                continue
+            if isinstance(element, StaticChoice) and \
+                    isinstance(projected, tuple):
+                # A merged list fragment: splice it into the list.
+                out.extend(projected)
+            else:
+                out.append(projected)
+        return tuple(out)
+    return value
+
+
+def count_nodes(value: Any) -> int:
+    """Count Node and StaticChoice instances in an AST."""
+    total = 0
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Node):
+            total += 1
+            stack.extend(current.children)
+        elif isinstance(current, StaticChoice):
+            total += 1
+            stack.extend(v for _, v in current.branches)
+        elif isinstance(current, tuple):
+            stack.extend(current)
+    return total
+
+
+def count_choice_nodes(value: Any) -> int:
+    """Count only StaticChoice nodes (Figure 8's 'fewer forked
+    subparsers means fewer static choice nodes' claim)."""
+    total = 0
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Node):
+            stack.extend(current.children)
+        elif isinstance(current, StaticChoice):
+            total += 1
+            stack.extend(v for _, v in current.branches)
+        elif isinstance(current, tuple):
+            stack.extend(current)
+    return total
+
+
+def dump(value: Any, indent: int = 0,
+         condition_str: Optional[Callable[[Any], str]] = None) -> str:
+    """Render an AST as an indented outline (for examples and tests)."""
+    pad = "  " * indent
+    if value is None:
+        return pad + "-"
+    if isinstance(value, Token):
+        return pad + repr(value.text)
+    if isinstance(value, Node):
+        lines = [pad + value.name]
+        for child in value.children:
+            lines.append(dump(child, indent + 1, condition_str))
+        return "\n".join(lines)
+    if isinstance(value, StaticChoice):
+        lines = [pad + "StaticChoice"]
+        for cond, branch in value.branches:
+            rendered = condition_str(cond) if condition_str \
+                else cond.to_expr_string()
+            lines.append(pad + "  [" + rendered + "]")
+            lines.append(dump(branch, indent + 2, condition_str))
+        return "\n".join(lines)
+    if isinstance(value, tuple):
+        lines = [pad + "[]" if not value else pad + "List"]
+        for item in value:
+            lines.append(dump(item, indent + 1, condition_str))
+        return "\n".join(lines)
+    return pad + repr(value)

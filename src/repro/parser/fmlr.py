@@ -1,0 +1,573 @@
+"""Fork-Merge LR parsing (Algorithm 2) with the paper's optimizations.
+
+The engine maintains a priority queue of subparsers ordered by head
+position.  Each subparser recognizes a distinct configuration: the
+presence conditions of live subparsers are mutually exclusive and
+together cover the feasible configuration space.
+
+Optimizations (§4.2–4.4), all individually switchable for Figure 8:
+
+* **token follow-set** — fork one subparser per *first language token*
+  reachable through conditionals, not per conditional branch;
+* **early reduces** — priority tie-breaker favouring subparsers that
+  will reduce, so subparsers do not outrun each other;
+* **lazy shifts** — heads that all shift stay in one multi-headed
+  subparser; only the earliest head's shift is forked off;
+* **shared reduces** — heads that reduce by the same production share
+  one reduction of the common stack.
+
+Disabling the follow-set gives MAPR's naive per-branch forking; with
+``mapr_largest_first`` the queue uses MAPR's largest-stack-first
+tie-breaker.  A kill switch bounds the live subparser count (the paper
+uses 16,000 for the MAPR comparison).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.ast import build_value, make_choice
+from repro.parser.context import ParserContext
+from repro.parser.grammar import END
+from repro.parser.lalr import ACCEPT, REDUCE, SHIFT, Tables
+from repro.parser.stream import (BranchNode, StreamElement, TokenNode,
+                                 build_stream)
+
+
+class SubparserExplosion(Exception):
+    """The live subparser count exceeded the kill switch."""
+
+    def __init__(self, count: int, limit: int):
+        super().__init__(
+            f"subparser count {count} exceeded kill switch {limit}")
+        self.count = count
+        self.limit = limit
+
+
+class FMLROptions:
+    """Optimization switches and limits."""
+
+    def __init__(self, follow_set: bool = True, lazy_shifts: bool = True,
+                 shared_reduces: bool = True, early_reduces: bool = True,
+                 mapr_largest_first: bool = False,
+                 choice_merging: bool = True,
+                 kill_switch: int = 16000):
+        self.follow_set = follow_set
+        self.lazy_shifts = lazy_shifts
+        self.shared_reduces = shared_reduces
+        self.early_reduces = early_reduces
+        self.mapr_largest_first = mapr_largest_first
+        # SuperC merges differing semantic values under complete
+        # nonterminals into static choice nodes (§5.1).  MAPR's program
+        # representation predates that facility: it only merges
+        # *identical* parses, which is what makes its naive forking
+        # exponential on Figure 6 (2^18 distinct initializer lists).
+        self.choice_merging = choice_merging
+        self.kill_switch = kill_switch
+
+    def label(self) -> str:
+        if not self.follow_set:
+            return ("MAPR & Largest First" if self.mapr_largest_first
+                    else "MAPR")
+        parts = []
+        if self.shared_reduces:
+            parts.append("Shared")
+        if self.lazy_shifts:
+            parts.append("Lazy")
+        if self.early_reduces:
+            parts.append("Early")
+        return " & ".join(parts) if parts else "Follow-Set Only"
+
+
+# The paper's Figure 8 optimization levels, top to bottom.
+OPTIMIZATION_LEVELS: Dict[str, FMLROptions] = {
+    "Shared, Lazy, & Early": FMLROptions(),
+    "Shared & Lazy": FMLROptions(early_reduces=False),
+    "Shared": FMLROptions(lazy_shifts=False, early_reduces=False),
+    "Lazy": FMLROptions(shared_reduces=False, early_reduces=False),
+    "Follow-Set Only": FMLROptions(lazy_shifts=False,
+                                   shared_reduces=False,
+                                   early_reduces=False),
+    "MAPR & Largest First": FMLROptions(follow_set=False,
+                                        lazy_shifts=False,
+                                        shared_reduces=False,
+                                        early_reduces=False,
+                                        choice_merging=False,
+                                        mapr_largest_first=True),
+    "MAPR": FMLROptions(follow_set=False, lazy_shifts=False,
+                        shared_reduces=False, early_reduces=False,
+                        choice_merging=False),
+}
+
+
+class FMLRStats:
+    """Per-parse instrumentation (Figure 8's subparser counts)."""
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.max_subparsers = 0
+        self.subparser_counts: List[int] = []
+        self.forks = 0
+        self.merges = 0
+        self.shared_reduce_count = 0
+        self.lazy_shift_count = 0
+
+
+class _StackNode:
+    """Immutable LR stack cell; forked subparsers share tails."""
+
+    __slots__ = ("state", "symbol", "value", "prev", "depth")
+
+    def __init__(self, state: int, symbol: Optional[str], value: Any,
+                 prev: Optional["_StackNode"]):
+        self.state = state
+        self.symbol = symbol
+        self.value = value
+        self.prev = prev
+        self.depth = 1 if prev is None else prev.depth + 1
+
+
+class Subparser:
+    """(presence conditions, heads, LR stack, context).
+
+    ``heads`` is an ordered tuple of (condition, TokenNode) pairs — one
+    pair for single-headed subparsers, several for multi-headed ones
+    (lazy shifts / shared reduces).  In MAPR mode a head may be a
+    BranchNode.
+    """
+
+    __slots__ = ("heads", "stack", "context", "alive")
+
+    def __init__(self, heads: Tuple[Tuple[Any, StreamElement], ...],
+                 stack: _StackNode, context: ParserContext):
+        self.heads = heads
+        self.stack = stack
+        self.context = context
+        # Cleared when the subparser is merged away or stepped (lazy
+        # deletion from the priority queue).
+        self.alive = True
+
+    @property
+    def earliest_position(self) -> int:
+        return self.heads[0][1].position
+
+    def condition(self, manager: Any) -> Any:
+        return manager.disjoin(cond for cond, _ in self.heads)
+
+    def __repr__(self) -> str:
+        return (f"Subparser(heads={[n.position for _, n in self.heads]}, "
+                f"state={self.stack.state})")
+
+
+class ParseFailure:
+    """One configuration-specific parse error."""
+
+    def __init__(self, condition: Any, token: Optional[Token],
+                 expected: List[str]):
+        self.condition = condition
+        self.token = token
+        self.expected = expected
+
+    def __str__(self) -> str:
+        where = ""
+        if self.token is not None:
+            where = (f"{self.token.file}:{self.token.line}:"
+                     f"{self.token.col}: ")
+        shown = ", ".join(self.expected[:8])
+        text = self.token.text if self.token else "<eof>"
+        return (f"{where}unexpected {text!r} under condition "
+                f"{self.condition.to_expr_string()} "
+                f"(expected one of: {shown})")
+
+
+class FMLRResult:
+    """Outcome of a configuration-preserving parse."""
+
+    def __init__(self, accepted: List[Tuple[Any, Any]],
+                 failures: List[ParseFailure], stats: FMLRStats,
+                 manager: Any):
+        self.accepted = accepted
+        self.failures = failures
+        self.stats = stats
+        self.manager = manager
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.accepted) and not self.failures
+
+    @property
+    def value(self) -> Any:
+        """The AST covering all accepted configurations (a static
+        choice node when configurations yielded different trees)."""
+        if not self.accepted:
+            return None
+        return make_choice(self.accepted)
+
+
+class FMLRParser:
+    """The table-driven Fork-Merge LR engine."""
+
+    def __init__(self, tables: Tables,
+                 classify: Callable[[Token], str],
+                 context_factory: Callable[[], ParserContext]
+                 = ParserContext,
+                 options: Optional[FMLROptions] = None):
+        self.tables = tables
+        self.classify = classify
+        self.context_factory = context_factory
+        self.options = options or FMLROptions()
+
+    # -- entry point ------------------------------------------------------
+
+    def parse(self, tree: Sequence, manager: Any,
+              condition: Any = None) -> FMLRResult:
+        """Parse a preprocessor token tree under ``condition``."""
+        options = self.options
+        root_cond = condition if condition is not None else manager.true
+        first = build_stream(list(tree), manager)
+        stats = FMLRStats()
+        failures: List[ParseFailure] = []
+        accepted: List[Tuple[Any, Any]] = []
+        counter = itertools.count()
+        initial_stack = _StackNode(0, None, None, None)
+        context = self.context_factory()
+        heads = self._advance(root_cond, first, manager)
+        if not heads:
+            return FMLRResult([], failures, stats, manager)
+        # The queue uses lazy deletion: subparsers merged away are
+        # flagged dead and skipped on pop.  Merging happens on insert,
+        # against live subparsers with the same heads and stack shape
+        # (only newly inserted subparsers can create merge pairs).
+        queue: List[Tuple[Tuple, int, Subparser]] = []
+        index: Dict[Tuple, List[Subparser]] = {}
+        live_count = [0]
+
+        def merge_key(subparser: Subparser) -> Tuple:
+            return (tuple(id(node) for _c, node in subparser.heads),
+                    subparser.stack.depth, subparser.stack.state)
+
+        def insert(subparser: Subparser) -> None:
+            key = merge_key(subparser)
+            bucket = index.setdefault(key, [])
+            bucket[:] = [entry for entry in bucket if entry.alive]
+            # Bound the candidate scan: when merging is mostly
+            # impossible (MAPR mode, no choice nodes), a full scan of a
+            # multi-thousand bucket with deep value comparisons would
+            # dominate runtime.  Missing a merge is safe, just slower.
+            start = max(0, len(bucket) - 32)
+            for i in range(start, len(bucket)):
+                existing = bucket[i]
+                combined = self._try_merge(existing, subparser, manager)
+                if combined is not None:
+                    stats.merges += 1
+                    existing.alive = False
+                    bucket[i] = combined
+                    heapq.heappush(queue, (self._priority(combined),
+                                           next(counter), combined))
+                    return
+            bucket.append(subparser)
+            heapq.heappush(queue, (self._priority(subparser),
+                                   next(counter), subparser))
+            live_count[0] += 1
+
+        if options.follow_set or all(isinstance(n, TokenNode)
+                                     for _, n in heads):
+            insert(Subparser(tuple(heads), initial_stack, context))
+        else:
+            for cond, node in heads:
+                insert(Subparser(((cond, node),), initial_stack,
+                                 context))
+        while queue:
+            _, _, subparser = heapq.heappop(queue)
+            if not subparser.alive:
+                continue
+            subparser.alive = False  # popped: no longer mergeable
+            live_count[0] -= 1
+            stats.iterations += 1
+            live = live_count[0] + 1  # include the one being stepped
+            stats.subparser_counts.append(live)
+            if live > stats.max_subparsers:
+                stats.max_subparsers = live
+            if live > options.kill_switch:
+                raise SubparserExplosion(live, options.kill_switch)
+            successors = self._step(subparser, manager, accepted,
+                                    failures, stats)
+            if len(successors) > 1:
+                stats.forks += len(successors) - 1
+            for successor in successors:
+                insert(successor)
+        return FMLRResult(accepted, failures, stats, manager)
+
+    # -- scheduling -------------------------------------------------------
+
+    def _priority(self, subparser: Subparser) -> Tuple:
+        position = subparser.earliest_position
+        if self.options.mapr_largest_first:
+            return (position, -subparser.stack.depth)
+        if not self.options.early_reduces:
+            return (position, 0)
+        # Early reduces: subparsers that will reduce step first.
+        cond, node = subparser.heads[0]
+        rank = 1
+        if isinstance(node, TokenNode):
+            terminal = self._base_terminal(node)
+            action = self.tables.action[subparser.stack.state] \
+                .get(terminal)
+            if action is not None and action[0] == REDUCE:
+                rank = 0
+        return (position, rank)
+
+    def _base_terminal(self, node: TokenNode) -> str:
+        if node.is_eof:
+            return END
+        return self.classify(node.token)
+
+    # -- stepping ---------------------------------------------------------
+
+    def _advance(self, condition: Any, element: StreamElement,
+                 manager: Any) -> List[Tuple[Any, StreamElement]]:
+        """New heads after moving to ``element`` under ``condition``."""
+        if condition.is_false():
+            return []
+        if self.options.follow_set:
+            return follow_set(condition, element, manager)
+        return [(condition, element)]
+
+    def _step(self, subparser: Subparser, manager: Any,
+              accepted: List[Tuple[Any, Any]],
+              failures: List[ParseFailure],
+              stats: FMLRStats) -> List[Subparser]:
+        options = self.options
+        # MAPR mode: a head may be a branch point -> naive forking.
+        if not options.follow_set and \
+                isinstance(subparser.heads[0][1], BranchNode):
+            cond, node = subparser.heads[0]
+            forks = []
+            for branch_cond, sub_element in node.alternatives:
+                joint = cond & branch_cond
+                if joint.is_false():
+                    continue
+                forks.append(Subparser(
+                    ((joint, sub_element),), subparser.stack,
+                    subparser.context.fork_context()))
+            return forks
+
+        # Classify every head, splitting on ambiguous classifications
+        # (implicit conditionals, e.g. conditionally-defined typedef
+        # names) and dropping rejecting heads.
+        classified: List[Tuple[Any, TokenNode, str, Tuple]] = []
+        state = subparser.stack.state
+        for cond, node in subparser.heads:
+            base = self._base_terminal(node)
+            for sub_cond, terminal in subparser.context.reclassify(
+                    node.token, base, cond):
+                if sub_cond.is_false():
+                    continue
+                action = self.tables.action[state].get(terminal)
+                if action is None:
+                    failures.append(ParseFailure(
+                        sub_cond,
+                        node.token if not node.is_eof else None,
+                        self.tables.expected_terminals(state)))
+                    continue
+                classified.append((sub_cond, node, terminal, action))
+        if not classified:
+            return []
+
+        # Partition into action groups (Figure 7b).
+        shift_heads: List[Tuple[Any, TokenNode, str]] = []
+        reduce_groups: Dict[int, List[Tuple[Any, TokenNode, str]]] = {}
+        accept_heads: List[Tuple[Any, TokenNode]] = []
+        for cond, node, terminal, action in classified:
+            if action[0] == SHIFT:
+                shift_heads.append((cond, node, terminal))
+            elif action[0] == REDUCE:
+                reduce_groups.setdefault(action[1], []).append(
+                    (cond, node, terminal))
+            else:  # ACCEPT
+                accept_heads.append((cond, node))
+
+        for cond, _node in accept_heads:
+            accepted.append((cond, subparser.stack.value))
+
+        groups: List[Tuple[str, Any, List]] = []
+        for production_index, heads in sorted(reduce_groups.items()):
+            if options.shared_reduces:
+                groups.append(("reduce", production_index, heads))
+            else:
+                for head in heads:
+                    groups.append(("reduce", production_index, [head]))
+        if shift_heads:
+            if options.lazy_shifts:
+                groups.append(("shift", None, shift_heads))
+            else:
+                for head in shift_heads:
+                    groups.append(("shift", None, [head]))
+        if not groups:
+            return []
+
+        # Perform one LR action on the group holding the earliest head;
+        # the rest are rescheduled as forked subparsers.
+        groups.sort(key=lambda group: group[2][0][1].position)
+        first_kind, first_extra, first_heads = groups[0]
+        out: List[Subparser] = []
+        share_context = len(groups) == 1
+        context = subparser.context if share_context \
+            else subparser.context.fork_context()
+        if first_kind == "reduce":
+            if len(first_heads) > 1:
+                stats.shared_reduce_count += 1
+            out.extend(self._reduce(subparser, first_extra, first_heads,
+                                    context, manager))
+        else:
+            out.extend(self._shift(subparser, first_heads, context,
+                                   manager, stats))
+        for kind, extra, heads in groups[1:]:
+            forked = Subparser(
+                tuple((cond, node) for cond, node, _t in heads),
+                subparser.stack, subparser.context.fork_context())
+            out.append(forked)
+        return out
+
+    def _reduce(self, subparser: Subparser, production_index: int,
+                heads: List[Tuple[Any, TokenNode, str]],
+                context: ParserContext, manager: Any) -> List[Subparser]:
+        production = self.tables.grammar.productions[production_index]
+        count = len(production.rhs)
+        stack = subparser.stack
+        values = []
+        for _ in range(count):
+            values.append(stack.value)
+            stack = stack.prev
+        values.reverse()
+        condition = manager.disjoin(cond for cond, _n, _t in heads)
+        value = build_value(production, values, context)
+        context.on_reduce(production, value, condition)
+        goto_state = self.tables.goto[stack.state].get(production.lhs)
+        if goto_state is None:
+            # Malformed tables; treat as rejection for these heads.
+            return []
+        new_stack = _StackNode(goto_state, production.lhs, value, stack)
+        return [Subparser(tuple((cond, node)
+                                for cond, node, _t in heads),
+                          new_stack, context)]
+
+    def _shift(self, subparser: Subparser,
+               heads: List[Tuple[Any, TokenNode, str]],
+               context: ParserContext, manager: Any,
+               stats: FMLRStats) -> List[Subparser]:
+        out: List[Subparser] = []
+        cond, node, terminal = heads[0]
+        rest = heads[1:]
+        if rest:
+            stats.lazy_shift_count += 1
+        action = self.tables.action[subparser.stack.state][terminal]
+        new_stack = _StackNode(action[1], terminal, node.token,
+                               subparser.stack)
+        new_heads = self._advance(cond, node.succ, manager)
+        shift_context = context if not rest else context.fork_context()
+        if new_heads:
+            out.append(Subparser(tuple(new_heads), new_stack,
+                                 shift_context))
+        if rest:
+            out.append(Subparser(
+                tuple((c, n) for c, n, _t in rest),
+                subparser.stack, context))
+        return out
+
+    # -- merging ------------------------------------------------------------
+
+    def _try_merge(self, left: Subparser, right: Subparser,
+                   manager: Any) -> Optional[Subparser]:
+        if len(left.heads) != len(right.heads):
+            return None
+        for (_cl, nl), (_cr, nr) in zip(left.heads, right.heads):
+            if nl is not nr:
+                return None
+        merged_stack = self._merge_stacks(left.stack, right.stack,
+                                          left.condition(manager),
+                                          right.condition(manager))
+        if merged_stack is None:
+            return None
+        if not left.context.may_merge(right.context):
+            return None
+        context = left.context.merge_contexts(
+            right.context, left.condition(manager),
+            right.condition(manager))
+        heads = tuple((cl | cr, node) for (cl, node), (cr, _n)
+                      in zip(left.heads, right.heads))
+        return Subparser(heads, merged_stack, context)
+
+    def _merge_stacks(self, left: _StackNode, right: _StackNode,
+                      left_cond: Any, right_cond: Any) \
+            -> Optional[_StackNode]:
+        """Equal stacks merge; a differing value merges only at a
+        complete nonterminal, becoming a static choice node (§5.1)."""
+        if left is right:
+            return left
+        if left.depth != right.depth:
+            return None
+        grammar = self.tables.grammar
+        # Walk down, collecting the differing prefix.
+        prefix: List[Tuple[int, Optional[str], Any, Any]] = []
+        l, r = left, right
+        while l is not r:
+            if l is None or r is None:
+                return None
+            if l.state != r.state or l.symbol != r.symbol:
+                return None
+            if l.value is r.value or l.value == r.value:
+                merged_value = l.value
+            elif self.options.choice_merging and l.symbol is not None \
+                    and grammar.is_complete(l.symbol):
+                merged_value = make_choice(
+                    [(left_cond, l.value), (right_cond, r.value)])
+            else:
+                return None
+            prefix.append((l.state, l.symbol, merged_value))
+            l, r = l.prev, r.prev
+        # Rebuild the differing prefix on the shared tail.
+        stack = l
+        for state, symbol, value in reversed(prefix):
+            stack = _StackNode(state, symbol, value, stack)
+        return stack
+
+
+def follow_set(condition: Any, element: StreamElement,
+               manager: Any) -> List[Tuple[Any, TokenNode]]:
+    """Algorithm 3: the first language token on each path through
+    static conditionals from ``element``, with presence conditions.
+
+    Implemented as a forward closure over the stream DAG: branch nodes
+    are processed in position order (each exactly once, with their
+    incoming conditions OR-merged), so the computation is linear in the
+    reachable prefix even for long chains of conditionals.
+    """
+    pending: Dict[int, List] = {}
+
+    def add(cond: Any, elem: StreamElement) -> None:
+        if cond.is_false():
+            return
+        entry = pending.get(id(elem))
+        if entry is not None:
+            entry[2] = entry[2] | cond
+        else:
+            pending[id(elem)] = [elem.position, elem, cond]
+
+    add(condition, element)
+    while True:
+        branch_entries = [entry for entry in pending.values()
+                          if isinstance(entry[1], BranchNode)]
+        if not branch_entries:
+            break
+        entry = min(branch_entries, key=lambda e: e[0])
+        del pending[id(entry[1])]
+        node, cond = entry[1], entry[2]
+        for branch_cond, sub_element in node.alternatives:
+            add(cond & branch_cond, sub_element)
+    result = [(entry[2], entry[1]) for entry in pending.values()]
+    result.sort(key=lambda pair: pair[1].position)
+    return result

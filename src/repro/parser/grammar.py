@@ -1,0 +1,193 @@
+"""Grammar representation with SuperC-style AST annotations.
+
+SuperC reuses Roskind's C grammar and feeds it to Bison; AST
+construction is controlled by five annotations placed on productions
+(§5.1): ``layout``, ``passthrough``, ``list``, ``action``, and
+``complete``.  This module provides the same model: a grammar is a set
+of productions, each carrying an annotation that tells the engines how
+to build its semantic value, and a set of *complete* nonterminals that
+bound where FMLR subparsers may merge with static choice nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+END = "$end"          # the end-of-input terminal
+AUGMENTED = "$accept"  # the augmented start symbol
+
+
+class Build(enum.Enum):
+    """How a production constructs its semantic value (§5.1)."""
+
+    NODE = "node"                # generic AST node named by the production
+    LAYOUT = "layout"            # no value (punctuation-only productions)
+    PASSTHROUGH = "passthrough"  # reuse the single child's value
+    LIST = "list"                # flatten left-recursion into a tuple
+    ACTION = "action"            # run arbitrary user code
+
+
+class Assoc(enum.Enum):
+    LEFT = "left"
+    RIGHT = "right"
+    NONASSOC = "nonassoc"
+
+
+class Production:
+    """One grammar production ``lhs -> rhs`` with its annotation."""
+
+    __slots__ = ("index", "lhs", "rhs", "build", "action", "node_name",
+                 "prec_symbol")
+
+    def __init__(self, index: int, lhs: str, rhs: Tuple[str, ...],
+                 build: Build = Build.NODE,
+                 action: Optional[Callable] = None,
+                 node_name: Optional[str] = None,
+                 prec_symbol: Optional[str] = None):
+        self.index = index
+        self.lhs = lhs
+        self.rhs = rhs
+        self.build = build
+        self.action = action
+        self.node_name = node_name or lhs
+        self.prec_symbol = prec_symbol
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} -> {' '.join(self.rhs) or '<empty>'}"
+
+
+class GrammarError(Exception):
+    """Raised for malformed grammars (unknown symbols, bad annotations)."""
+
+
+class Grammar:
+    """A context-free grammar plus annotations and precedence.
+
+    Usage::
+
+        g = Grammar("S")
+        g.rule("S", ["S", "a"], build=Build.LIST)
+        g.rule("S", [])
+        g.finish()
+    """
+
+    def __init__(self, start: str):
+        self.start = start
+        self.productions: List[Production] = [
+            Production(0, AUGMENTED, (start, END))]
+        self.by_lhs: Dict[str, List[Production]] = {
+            AUGMENTED: [self.productions[0]]}
+        self.complete: set = set()
+        self._prec: Dict[str, Tuple[int, Assoc]] = {}
+        self._prec_level = 0
+        self._finished = False
+        self.nonterminals: set = {AUGMENTED}
+        self.terminals: set = set()
+
+    # -- construction ----------------------------------------------------
+
+    def rule(self, lhs: str, rhs: Sequence[str],
+             build: Build = Build.NODE,
+             action: Optional[Callable] = None,
+             node_name: Optional[str] = None,
+             prec: Optional[str] = None) -> Production:
+        """Add a production.  ``rhs`` entries are symbol names."""
+        if self._finished:
+            raise GrammarError("grammar already finished")
+        production = Production(len(self.productions), lhs, tuple(rhs),
+                                build, action, node_name, prec)
+        if build is Build.ACTION and action is None:
+            raise GrammarError(f"{production}: ACTION build requires a "
+                               "callable")
+        self.productions.append(production)
+        self.by_lhs.setdefault(lhs, []).append(production)
+        self.nonterminals.add(lhs)
+        return production
+
+    def rules(self, lhs: str, alternatives: Iterable[Sequence[str]],
+              build: Build = Build.NODE) -> None:
+        """Add several alternatives for one nonterminal."""
+        for rhs in alternatives:
+            self.rule(lhs, rhs, build=build)
+
+    def mark_complete(self, *nonterminals: str) -> None:
+        """Mark nonterminals as complete syntactic units (§5.1).
+
+        FMLR merges subparsers only when differing semantic values sit
+        under a complete nonterminal, wrapping them in a static choice
+        node.
+        """
+        self.complete.update(nonterminals)
+
+    def precedence(self, assoc: Assoc, symbols: Sequence[str]) -> None:
+        """Declare one precedence level (later calls bind tighter)."""
+        self._prec_level += 1
+        for symbol in symbols:
+            self._prec[symbol] = (self._prec_level, assoc)
+
+    def prec_of(self, symbol: str) -> Optional[Tuple[int, Assoc]]:
+        return self._prec.get(symbol)
+
+    def production_prec(self, production: Production) \
+            -> Optional[Tuple[int, Assoc]]:
+        """Bison-style: %prec override, else last terminal of the RHS."""
+        if production.prec_symbol is not None:
+            return self._prec.get(production.prec_symbol)
+        for symbol in reversed(production.rhs):
+            if symbol in self.terminals:
+                return self._prec.get(symbol)
+        return None
+
+    # -- finalization ------------------------------------------------------
+
+    def finish(self) -> "Grammar":
+        """Classify symbols and validate the grammar."""
+        if self._finished:
+            return self
+        self.terminals = set()
+        for production in self.productions:
+            for symbol in production.rhs:
+                if symbol not in self.by_lhs:
+                    self.terminals.add(symbol)
+        self.terminals.add(END)
+        if self.start not in self.nonterminals:
+            raise GrammarError(f"start symbol {self.start!r} has no "
+                               "productions")
+        for nonterminal in self.complete:
+            if nonterminal not in self.nonterminals:
+                raise GrammarError(
+                    f"complete mark on unknown nonterminal {nonterminal!r}")
+        self._check_productive()
+        self._finished = True
+        return self
+
+    def _check_productive(self) -> None:
+        """Reject nonterminals that can never derive a terminal string."""
+        productive: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.lhs in productive:
+                    continue
+                if all(symbol in self.terminals or symbol in productive
+                       for symbol in production.rhs):
+                    productive.add(production.lhs)
+                    changed = True
+        dead = self.nonterminals - productive
+        if dead:
+            raise GrammarError(
+                "unproductive nonterminals: " + ", ".join(sorted(dead)))
+
+    # -- queries ------------------------------------------------------------
+
+    def is_terminal(self, symbol: str) -> bool:
+        return symbol in self.terminals
+
+    def is_complete(self, symbol: str) -> bool:
+        return symbol in self.complete
+
+    def __repr__(self) -> str:
+        return (f"Grammar(start={self.start!r}, "
+                f"{len(self.productions)} productions)")

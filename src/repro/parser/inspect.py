@@ -1,0 +1,118 @@
+"""Grammar and parse-table introspection.
+
+Debugging aids for grammar work: human-readable item-set dumps,
+conflict explanations (which items compete on which lookahead), and a
+summary report.  The Bison-replacement equivalent of ``--report=state``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.parser.grammar import Grammar
+from repro.parser.lalr import _LR0, Conflict, Tables
+
+
+class GrammarReport:
+    """Summary statistics plus formatted sections."""
+
+    def __init__(self, tables: Tables):
+        self.tables = tables
+        self.grammar = tables.grammar
+        self._automaton: Optional[_LR0] = None
+
+    @property
+    def automaton(self) -> _LR0:
+        if self._automaton is None:
+            self._automaton = _LR0(self.grammar)
+        return self._automaton
+
+    # -- summary ----------------------------------------------------------
+
+    def summary(self) -> str:
+        grammar = self.grammar
+        lines = [
+            f"grammar: start symbol {grammar.start!r}",
+            f"  productions:  {len(grammar.productions)}",
+            f"  nonterminals: {len(grammar.nonterminals)}",
+            f"  terminals:    {len(grammar.terminals)}",
+            f"  lr(0) states: {self.tables.num_states}",
+            f"  conflicts:    {len(self.tables.conflicts)} "
+            f"({self._conflict_kinds()})",
+            f"  complete nonterminals: {len(grammar.complete)}",
+        ]
+        return "\n".join(lines)
+
+    def _conflict_kinds(self) -> str:
+        kinds: Dict[str, int] = {}
+        for conflict in self.tables.conflicts:
+            kinds[conflict.kind] = kinds.get(conflict.kind, 0) + 1
+        return ", ".join(f"{count} {kind}"
+                         for kind, count in sorted(kinds.items())) \
+            or "none"
+
+    # -- states -----------------------------------------------------------
+
+    def describe_state(self, state: int) -> str:
+        """Item set, actions, and gotos of one state."""
+        closure = self.automaton.closures[state]
+        productions = self.grammar.productions
+        lines = [f"state {state}"]
+        for prod_idx, dot in sorted(closure):
+            production = productions[prod_idx]
+            rhs = list(production.rhs)
+            rhs.insert(dot, ".")
+            lines.append(f"  {production.lhs} -> {' '.join(rhs)}")
+        actions = self.tables.action[state]
+        for terminal in sorted(actions):
+            action = actions[terminal]
+            if action[0] == "s":
+                lines.append(f"  on {terminal!r}: shift -> "
+                             f"state {action[1]}")
+            elif action[0] == "r":
+                lines.append(f"  on {terminal!r}: reduce "
+                             f"{productions[action[1]]}")
+            else:
+                lines.append(f"  on {terminal!r}: accept")
+        for nonterminal in sorted(self.tables.goto[state]):
+            lines.append(f"  goto {nonterminal}: state "
+                         f"{self.tables.goto[state][nonterminal]}")
+        return "\n".join(lines)
+
+    # -- conflicts ----------------------------------------------------------
+
+    def explain_conflict(self, conflict: Conflict) -> str:
+        """The competing items behind one recorded conflict."""
+        productions = self.grammar.productions
+        closure = self.automaton.closures[conflict.state]
+        lines = [f"{conflict.kind} in state {conflict.state} on "
+                 f"{conflict.terminal!r}: chose {conflict.chosen}, "
+                 f"rejected {conflict.rejected}"]
+        involved = set()
+        for action in (conflict.chosen, conflict.rejected):
+            if action[0] == "r":
+                involved.add(action[1])
+        for prod_idx, dot in sorted(closure):
+            production = productions[prod_idx]
+            is_reduce_item = dot == len(production.rhs) and \
+                prod_idx in involved
+            shifts_terminal = dot < len(production.rhs) and \
+                production.rhs[dot] == conflict.terminal
+            if is_reduce_item or shifts_terminal:
+                rhs = list(production.rhs)
+                rhs.insert(dot, ".")
+                role = "reduce" if is_reduce_item else "shift"
+                lines.append(f"  [{role}] {production.lhs} -> "
+                             f"{' '.join(rhs)}")
+        return "\n".join(lines)
+
+    def conflict_report(self) -> str:
+        if not self.tables.conflicts:
+            return "no conflicts"
+        return "\n\n".join(self.explain_conflict(conflict)
+                           for conflict in self.tables.conflicts)
+
+
+def report(tables: Tables) -> GrammarReport:
+    """Entry point: build a report object for generated tables."""
+    return GrammarReport(tables)

@@ -1,0 +1,154 @@
+"""SuperC: the end-to-end configuration-preserving C front-end.
+
+Ties together the three processing steps (Table 1): lexing,
+configuration-preserving preprocessing, and Fork-Merge LR parsing with
+the C grammar and the conditional symbol table, producing an AST with
+static choice nodes that covers every configuration at once.
+
+Typical use::
+
+    from repro import SuperC
+    superc = SuperC(fs=DictFileSystem(files), include_paths=["include"])
+    result = superc.parse_source(source, "driver.c")
+    result.ast                # Node / StaticChoice tree
+    result.unit.stats         # Table 3 preprocessor statistics
+    result.parse.stats        # Figure 8 subparser statistics
+    result.timing             # Figure 10 latency breakdown
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bdd import BDDManager
+from repro.cgrammar import (SymbolStats, c_tables, classify,
+                            make_context_factory)
+from repro.cpp import CompilationUnit, FileSystem, Preprocessor
+from repro.parser.fmlr import (FMLROptions, FMLRParser, FMLRResult,
+                               ParseFailure)
+from repro.parser.lr import LRParser
+
+
+class Timing:
+    """Latency breakdown in seconds (Figure 10)."""
+
+    def __init__(self, lex: float, preprocess: float, parse: float):
+        self.lex = lex
+        self.preprocess = preprocess
+        self.parse = parse
+
+    @property
+    def total(self) -> float:
+        return self.lex + self.preprocess + self.parse
+
+    def __repr__(self) -> str:
+        return (f"Timing(lex={self.lex:.4f}, "
+                f"preprocess={self.preprocess:.4f}, "
+                f"parse={self.parse:.4f})")
+
+
+class SuperCResult:
+    """Everything produced for one compilation unit."""
+
+    def __init__(self, unit: CompilationUnit, parse: FMLRResult,
+                 symbol_stats: SymbolStats, timing: Timing):
+        self.unit = unit
+        self.parse = parse
+        self.symbol_stats = symbol_stats
+        self.timing = timing
+
+    @property
+    def ok(self) -> bool:
+        return self.parse.ok
+
+    @property
+    def ast(self) -> Any:
+        return self.parse.value
+
+    @property
+    def failures(self) -> List[ParseFailure]:
+        return self.parse.failures
+
+
+class SuperC:
+    """Configuration-preserving parser for all of C."""
+
+    def __init__(self, fs: Optional[FileSystem] = None,
+                 include_paths: Sequence[str] = (),
+                 builtins: Optional[Dict[str, str]] = None,
+                 extra_definitions: Optional[Dict[str, str]] = None,
+                 options: Optional[FMLROptions] = None):
+        self.fs = fs
+        self.include_paths = list(include_paths)
+        self.builtins = builtins
+        # The four non-boolean macro definitions of §6.3 step 3 (and
+        # any other overrides) are supplied here.
+        self.extra_definitions = extra_definitions
+        self.options = options
+        self.tables = c_tables()
+
+    # -- pipeline -------------------------------------------------------------
+
+    def preprocess_source(self, text: str,
+                          filename: str = "<input>") -> CompilationUnit:
+        """Run only the configuration-preserving preprocessor."""
+        preprocessor = self._preprocessor()
+        return preprocessor.preprocess(text, filename)
+
+    def parse_source(self, text: str,
+                     filename: str = "<input>") -> SuperCResult:
+        """Preprocess and parse source text."""
+        preprocessor = self._preprocessor()
+        pp_start = time.perf_counter()
+        unit = preprocessor.preprocess(text, filename)
+        pp_seconds = time.perf_counter() - pp_start
+        return self._parse_unit(unit, preprocessor.lex_seconds,
+                                pp_seconds - preprocessor.lex_seconds)
+
+    def parse_file(self, path: str) -> SuperCResult:
+        """Preprocess and parse a file from the file system."""
+        if self.fs is None:
+            raise ValueError("SuperC needs a file system to parse files")
+        text = self.fs.read(path)
+        if text is None:
+            raise FileNotFoundError(path)
+        return self.parse_source(text, path)
+
+    def parse_unit(self, unit: CompilationUnit) -> SuperCResult:
+        """Parse an already-preprocessed compilation unit."""
+        return self._parse_unit(unit, 0.0, 0.0)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _preprocessor(self) -> Preprocessor:
+        return Preprocessor(self.fs, include_paths=self.include_paths,
+                            builtins=self.builtins,
+                            extra_definitions=self.extra_definitions)
+
+    def _parse_unit(self, unit: CompilationUnit, lex_seconds: float,
+                    pp_seconds: float) -> SuperCResult:
+        symbol_stats = SymbolStats()
+        factory = make_context_factory(unit.manager, symbol_stats)
+        parser = FMLRParser(self.tables, classify,
+                            context_factory=factory,
+                            options=self.options)
+        parse_start = time.perf_counter()
+        result = parser.parse(unit.tree, unit.manager,
+                              unit.feasible_condition)
+        parse_seconds = time.perf_counter() - parse_start
+        return SuperCResult(unit, result, symbol_stats,
+                            Timing(lex_seconds, pp_seconds,
+                                   parse_seconds))
+
+
+def parse_c(text: str, files: Optional[Dict[str, str]] = None,
+            include_paths: Sequence[str] = ("include",),
+            builtins: Optional[Dict[str, str]] = None,
+            options: Optional[FMLROptions] = None) -> SuperCResult:
+    """One-call convenience: parse C source with conditionals."""
+    from repro.cpp import DictFileSystem
+    superc = SuperC(DictFileSystem(files or {}),
+                    include_paths=include_paths, builtins=builtins,
+                    options=options)
+    return superc.parse_source(text)

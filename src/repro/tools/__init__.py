@@ -1,0 +1,7 @@
+"""Command-line entry points.
+
+* ``python -m repro.tools.parse_cli`` — parse one file in all
+  configurations (``superc-parse``).
+* ``python -m repro.tools.report_cli`` — Table 2/3 usage survey for a
+  source tree (``superc-report``).
+"""

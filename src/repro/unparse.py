@@ -1,0 +1,318 @@
+"""Unparsing: all-configuration ASTs back to C source text.
+
+Automated refactorings must "output program text as originally
+written, modulo any intended changes" (Table 1's layout row).  For
+edits that keep token positions valid, :mod:`repro.analysis.refactor`
+patches the original text directly.  This module handles the other
+half: regenerating a *complete* compilation unit from an AST whose
+static choice nodes become ``#if``/``#elif``/``#else``/``#endif``
+directives, so structural transformations (that invalidate positions)
+can still be written out for every configuration at once.
+
+Because the AST drops punctuation-only values (§5.1's ``layout``
+annotation) and flattens precedence chains (``passthrough``), the
+unparser regenerates what grammar annotations removed: commas between
+list members, parentheses around compound expressions and declarators
+(emitted unconditionally — redundant parens are valid C and make the
+output precedence-safe), and the ``=`` of designated initializers.
+
+Presence conditions are rendered back into conditional expressions:
+``defined:M`` variables become ``defined(M)``, ``value:M`` become
+``M``, and opaque ``expr:TEXT`` variables re-emit their original
+arithmetic text.  The output is *preprocessed* C (macros are already
+expanded in the AST); it round-trips through the parser to a
+projection-equivalent result, which the tests verify.
+
+Known limits: multi-section ``asm`` operand lists and static choice
+nodes inside strict comma lists (function arguments / declarator
+lists) are not re-punctuated; conditional members of initializer and
+enumerator lists are handled via trailing commas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.cpp.conditions import DEFINED_PREFIX, EXPR_PREFIX, VALUE_PREFIX
+from repro.lexer.tokens import Token, TokenKind, render_tokens
+from repro.parser.ast import Node, StaticChoice
+
+
+def variable_to_expr(name: str) -> str:
+    """Render one BDD variable back into #if-expression syntax."""
+    if name.startswith(DEFINED_PREFIX):
+        return f"defined({name[len(DEFINED_PREFIX):]})"
+    if name.startswith(VALUE_PREFIX):
+        return name[len(VALUE_PREFIX):]
+    if name.startswith(EXPR_PREFIX):
+        return f"({name[len(EXPR_PREFIX):]})"
+    return name
+
+
+def condition_to_expr(condition: Any) -> str:
+    """Render a presence condition as a C conditional expression.
+
+    Uses the BDD's satisfying cubes (DNF).  TRUE renders as ``1``,
+    FALSE as ``0``.
+    """
+    if condition.is_true():
+        return "1"
+    if condition.is_false():
+        return "0"
+    cubes: List[str] = []
+    for cube in condition.all_sat():
+        terms = []
+        for name, value in sorted(cube.items()):
+            rendered = variable_to_expr(name)
+            terms.append(rendered if value else f"!{rendered}")
+        cubes.append(" && ".join(terms) if terms else "1")
+    if len(cubes) == 1:
+        return cubes[0]
+    return " || ".join(f"({cube})" for cube in cubes)
+
+
+# Expression nodes get wrapped in regenerated parentheses (passthrough
+# dropped the originals, and flat emission would lose precedence).
+_PAREN_EXPRS = frozenset({
+    "BinaryExpression", "AssignmentExpression", "ConditionalExpression",
+    "CastExpression", "UnaryExpression", "PreIncrement", "PreDecrement",
+    "PostIncrement", "PostDecrement", "SizeofExpression",
+    "AlignofExpression", "SubscriptExpression", "DirectSelection",
+    "IndirectSelection", "CommaExpression",
+})
+
+# Declarator nodes likewise: `int ((*fp))(void);` is valid C.
+_PAREN_DECLARATORS = frozenset({
+    "PointerDeclarator", "ArrayDeclarator", "FunctionDeclarator",
+    "AttributedDeclarator", "PointerAbstractDeclarator",
+    "ArrayAbstractDeclarator", "FunctionAbstractDeclarator",
+})
+
+# node name -> child indices whose tuple children are strict
+# comma-separated lists (no trailing comma allowed).  Indices count
+# the node's semantic children, including kept punctuator tokens.
+_COMMA_BETWEEN = {
+    "Declaration": (1,),
+    "StructDeclaration": (1,),
+    "FunctionCall": (2,),       # (callee, '(', args, ')')
+    "CompoundLiteral": (4,),    # ('(', type, ')', '{', list, '}')
+    "AttrCall": (2,),
+    "Attribute": (3,),          # ('__attribute__', '(', '(', params, ...)
+}
+
+# Node kinds whose shape varies: every tuple child is a comma list.
+_COMMA_ANY_TUPLE = frozenset({
+    "FunctionDeclarator", "FunctionAbstractDeclarator",
+})
+
+# node name -> child indices whose tuple children allow (and here get)
+# a trailing comma — which lets conditional members carry their comma
+# inside their own branch.
+_COMMA_TRAILING = {
+    "CompoundInitializer": (1,),
+    "EnumSpecifier": (2, 3),
+}
+
+# Statement/declaration boundaries that end an output line.
+_LINE_BREAK_AFTER = frozenset({
+    "Declaration", "FunctionDefinition", "ExpressionStatement",
+    "EmptyStatement", "ReturnStatement", "BreakStatement",
+    "ContinueStatement", "GotoStatement", "CompoundStatement",
+    "IfStatement", "IfElseStatement", "WhileStatement", "DoStatement",
+    "ForStatement", "SwitchStatement", "StructDeclaration",
+    "EmptyDeclaration", "AsmStatement", "AsmDefinition",
+})
+
+
+def _punct(text: str) -> Token:
+    return Token(TokenKind.PUNCTUATOR, text, "<unparse>")
+
+
+class Unparser:
+    """Streams an AST into lines of C text with directives."""
+
+    def __init__(self, use_layout: bool = False):
+        self.use_layout = use_layout
+        self._lines: List[str] = []
+        self._tokens: List[Token] = []
+
+    # -- driving -------------------------------------------------------------
+
+    def unparse(self, value: Any,
+                error_conditions: Sequence[Tuple[Any, str]] = ()) \
+            -> str:
+        self._lines = []
+        self._tokens = []
+        # Re-emit the unit's infeasible configurations: the AST only
+        # covers feasible ones, so without these directives a reparse
+        # would try (and fail) to parse the excluded configs.
+        for condition, message in error_conditions:
+            if condition.is_false():
+                continue
+            self._lines.append(f"#if {condition_to_expr(condition)}")
+            self._lines.append(f'#error "{message}"')
+            self._lines.append("#endif")
+        self._walk(value)
+        self._flush_tokens()
+        return "\n".join(self._lines) + ("\n" if self._lines else "")
+
+    # -- internals -------------------------------------------------------------
+
+    def _walk(self, value: Any,
+              suffix: Optional[List[Token]] = None) -> None:
+        if value is None:
+            return
+        if isinstance(value, Token):
+            if value.kind not in (TokenKind.NEWLINE, TokenKind.EOF,
+                                  TokenKind.PLACEMENT):
+                self._tokens.append(value)
+            self._emit_suffix(suffix)
+            return
+        if isinstance(value, Node):
+            self._walk_node(value)
+            self._emit_suffix(suffix)
+            if value.name in _LINE_BREAK_AFTER:
+                self._flush_tokens()
+            return
+        if isinstance(value, tuple):
+            for element in value:
+                self._walk(element)
+            self._emit_suffix(suffix)
+            return
+        if isinstance(value, StaticChoice):
+            self._emit_choice(value, suffix)
+            return
+        # Unknown semantic value (e.g. from an action production).
+        self._flush_tokens()
+        self._lines.append(str(value))
+
+    def _emit_suffix(self, suffix: Optional[List[Token]]) -> None:
+        if suffix:
+            self._tokens.extend(suffix)
+
+    def _walk_node(self, node: Node) -> None:
+        name = node.name
+        wrap = name in _PAREN_EXPRS or name in _PAREN_DECLARATORS
+        if wrap:
+            self._tokens.append(_punct("("))
+        if name == "DesignatedInitializer":
+            # Passthrough dropped the '=' of `.field = init`.
+            self._walk(node.children[0])
+            self._tokens.append(_punct("="))
+            for child in node.children[1:]:
+                self._walk(child)
+        elif name in ("VaArg", "OffsetofExpression"):
+            # `__builtin_va_arg(expr, type)`: comma regenerated.
+            kw, lparen, first, second, rparen = node.children
+            self._walk(kw)
+            self._walk(lparen)
+            self._walk(first)
+            self._tokens.append(_punct(","))
+            self._walk(second)
+            self._walk(rparen)
+        elif name == "VariadicParameters":
+            self._comma_between(node.children[0])
+            self._tokens.append(_punct(","))
+            for child in node.children[1:]:
+                self._walk(child)
+        elif name == "CommaExpression":
+            self._walk(node.children[0])
+            self._tokens.append(_punct(","))
+            for child in node.children[1:]:
+                self._walk(child)
+        else:
+            between = _COMMA_BETWEEN.get(name, ())
+            trailing = _COMMA_TRAILING.get(name, ())
+            any_tuple = name in _COMMA_ANY_TUPLE
+            for index, child in enumerate(node.children):
+                is_between = index in between or any_tuple
+                if isinstance(child, tuple) and is_between:
+                    self._comma_between(child)
+                elif isinstance(child, StaticChoice) and is_between:
+                    # The whole list merged into one choice: each
+                    # branch is punctuated independently.
+                    self._emit_choice(child, list_context="between")
+                elif index in trailing and isinstance(
+                        child, (tuple, StaticChoice)):
+                    if isinstance(child, StaticChoice):
+                        self._emit_choice(child, suffix=[_punct(",")],
+                                          list_context="trailing")
+                    else:
+                        self._comma_trailing(child)
+                else:
+                    self._walk(child)
+        if wrap:
+            self._tokens.append(_punct(")"))
+
+    def _comma_between(self, elements: tuple) -> None:
+        for index, element in enumerate(elements):
+            if index > 0:
+                self._tokens.append(_punct(","))
+            self._walk(element)
+
+    def _comma_trailing(self, elements: tuple) -> None:
+        comma = [_punct(",")]
+        for element in elements:
+            if isinstance(element, StaticChoice):
+                # The member's comma lives inside its own branch; a
+                # branch may itself hold a merged list fragment.
+                self._emit_choice(element, suffix=comma,
+                                  list_context="trailing")
+            else:
+                self._walk(element, suffix=comma)
+
+    def _emit_choice(self, choice: StaticChoice,
+                     suffix: Optional[List[Token]] = None,
+                     list_context: Optional[str] = None) -> None:
+        self._flush_tokens()
+        branches = list(choice.branches)
+        remainder = None
+        if branches:
+            # If conditions cover everything, render the last branch
+            # as #else.
+            union = branches[0][0]
+            for condition, _value in branches[1:]:
+                union = union | condition
+            if union.is_true() and len(branches) > 1:
+                remainder = branches.pop()
+
+        def emit_branch(value: Any) -> None:
+            if list_context == "trailing" and isinstance(value, tuple):
+                self._comma_trailing(value)
+            elif list_context == "between" and isinstance(value, tuple):
+                self._comma_between(value)
+            else:
+                self._walk(value, suffix=list(suffix) if suffix
+                           else None)
+            self._flush_tokens()
+
+        for index, (condition, value) in enumerate(branches):
+            keyword = "#if" if index == 0 else "#elif"
+            self._lines.append(f"{keyword} {condition_to_expr(condition)}")
+            emit_branch(value)
+        if remainder is not None:
+            self._lines.append("#else")
+            emit_branch(remainder[1])
+        self._lines.append("#endif")
+
+    def _flush_tokens(self) -> None:
+        if not self._tokens:
+            return
+        text = render_tokens(self._tokens, with_layout=self.use_layout)
+        for line in text.splitlines():
+            if line.strip():
+                self._lines.append(line)
+        self._tokens = []
+
+
+def unparse(ast: Any, use_layout: bool = False,
+            error_conditions: Sequence[Tuple[Any, str]] = ()) -> str:
+    """Render an all-configuration AST as C source with directives.
+
+    ``error_conditions`` (from
+    :attr:`~repro.cpp.CompilationUnit.error_conditions`) re-emit the
+    unit's ``#error`` directives so infeasible configurations stay
+    excluded on reparse.
+    """
+    return Unparser(use_layout=use_layout).unparse(
+        ast, error_conditions=error_conditions)

@@ -1,0 +1,142 @@
+"""Shared helpers for preprocessor and parser tests.
+
+The central facility is the *differential oracle*: build a BDD-variable
+assignment from a concrete configuration (a ``-D`` style mapping), so a
+configuration-preserving result can be projected and compared against
+the plain single-configuration pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpp import (DictFileSystem, Preprocessor, SimplePreprocessor,
+                       project)
+from repro.cpp.conditions import DEFINED_PREFIX, EXPR_PREFIX, VALUE_PREFIX
+from repro.cpp.expression import (ExprError, evaluate_int, parse_int,
+                                  parse_expression)
+from repro.lexer import lex
+from repro.lexer.tokens import Token, TokenKind
+
+# A tiny, fixed builtin set for tests (deterministic, minimal noise).
+TEST_BUILTINS = {"__STDC__": "1"}
+
+
+def preprocess(text: str, files: Optional[Dict[str, str]] = None,
+               include_paths: Sequence[str] = ("include",),
+               builtins: Optional[Dict[str, str]] = None,
+               filename: str = "test.c"):
+    """Run the configuration-preserving preprocessor on ``text``."""
+    pp = Preprocessor(DictFileSystem(files or {}),
+                      include_paths=include_paths,
+                      builtins=TEST_BUILTINS if builtins is None
+                      else builtins)
+    return pp.preprocess(text, filename)
+
+
+def simple_preprocess(text: str, defines: Optional[Dict[str, str]] = None,
+                      files: Optional[Dict[str, str]] = None,
+                      include_paths: Sequence[str] = ("include",),
+                      builtins: Optional[Dict[str, str]] = None,
+                      filename: str = "test.c") -> List[Token]:
+    """Run the single-configuration oracle preprocessor."""
+    pp = SimplePreprocessor(DictFileSystem(files or {}),
+                            include_paths=include_paths,
+                            config=defines or {},
+                            builtins=TEST_BUILTINS if builtins is None
+                            else builtins)
+    return pp.preprocess(text, filename)
+
+
+def texts(tokens) -> List[str]:
+    """Token texts, skipping layout-only kinds."""
+    return [t.text for t in tokens
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def config_value(defines: Dict[str, str], name: str) -> int:
+    """The integer value a bare identifier evaluates to under a
+    configuration (0 when undefined or non-numeric)."""
+    if name not in defines:
+        return 0
+    body = defines[name].strip()
+    if not body:
+        return 0
+    try:
+        return parse_int(body)
+    except ExprError:
+        return 0
+
+
+def assignment_for(unit, defines: Dict[str, str]) -> Dict[str, bool]:
+    """Translate a concrete configuration into truth values for every
+    BDD variable the unit's conditions mention."""
+    assignment: Dict[str, bool] = {}
+    for var in unit.manager.variable_names:
+        if var.startswith(DEFINED_PREFIX):
+            name = var[len(DEFINED_PREFIX):]
+            assignment[var] = name in defines
+        elif var.startswith(VALUE_PREFIX):
+            name = var[len(VALUE_PREFIX):]
+            assignment[var] = config_value(defines, name) != 0
+        elif var.startswith(EXPR_PREFIX):
+            text = var[len(EXPR_PREFIX):]
+            expr = parse_expression(lex(text, "<expr-var>"))
+            value = evaluate_int(
+                expr,
+                is_defined=lambda n: n in defines,
+                value_of=lambda n: config_value(defines, n))
+            assignment[var] = value != 0
+    return assignment
+
+
+def project_unit(unit, defines: Dict[str, str]) -> List[Token]:
+    """Project a compilation unit onto one concrete configuration."""
+    return project(unit.tree, assignment_for(unit, defines))
+
+
+def token_texts_match(left: Sequence[Token],
+                      right: Sequence[Token]) -> bool:
+    """Compare two token streams by (kind, text)."""
+    left = [t for t in left
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+    right = [t for t in right
+             if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+    if len(left) != len(right):
+        return False
+    return all(a.same_text(b) for a, b in zip(left, right))
+
+
+def ast_signature(value) -> object:
+    """Structural signature of an AST for cross-parse comparison
+    (tokens compare by identity, so `==` fails across parses)."""
+    from repro.parser.ast import Node, StaticChoice
+    if value is None:
+        return None
+    if isinstance(value, Token):
+        return ("tok", value.kind.value, value.text)
+    if isinstance(value, Node):
+        return ("node", value.name,
+                tuple(ast_signature(c) for c in value.children))
+    if isinstance(value, StaticChoice):
+        return ("choice",
+                frozenset((c.to_expr_string(), ast_signature(v))
+                          for c, v in value.branches))
+    if isinstance(value, tuple):
+        return ("list", tuple(ast_signature(v) for v in value))
+    return ("other", repr(value))
+
+
+def diff_token_streams(left: Sequence[Token],
+                       right: Sequence[Token]) -> str:
+    """Human-readable diff for assertion messages."""
+    left_texts = [t.text for t in left]
+    right_texts = [t.text for t in right]
+    for index, (a, b) in enumerate(zip(left_texts, right_texts)):
+        if a != b:
+            return (f"first difference at #{index}: {a!r} != {b!r}\n"
+                    f"left:  ... {' '.join(left_texts[max(0, index-5):index+5])}\n"
+                    f"right: ... {' '.join(right_texts[max(0, index-5):index+5])}")
+    return (f"length mismatch: {len(left_texts)} vs {len(right_texts)}\n"
+            f"left tail:  {' '.join(left_texts[-8:])}\n"
+            f"right tail: {' '.join(right_texts[-8:])}")

@@ -1,0 +1,146 @@
+"""Tests for the variability-aware analyses."""
+
+import pytest
+
+from repro.analysis import (allyes_assignment, always_together,
+                            block_histogram, collect_blocks,
+                            conditional_symbols, configuration_coverage,
+                            dead_blocks, file_scope_symbols,
+                            multiply_declared, mutually_exclusive)
+from repro.cpp.conditions import defined_var
+from repro.superc import parse_c
+from tests.support import preprocess
+
+SOURCE = """\
+#ifdef CONFIG_A
+int a_only;
+#else
+int not_a;
+#endif
+#ifdef CONFIG_B
+int b_only;
+#endif
+int always;
+"""
+
+
+class TestBlocks:
+    def test_collect_blocks(self):
+        unit = preprocess(SOURCE)
+        blocks = collect_blocks(unit.tree, unit.manager.true)
+        previews = [block.preview(3) for block in blocks]
+        assert "int a_only ;" in previews
+        assert "int not_a ;" in previews
+        assert "int b_only ;" in previews
+        # `always` is not inside a conditional.
+        assert not any("always" in p for p in previews)
+
+    def test_conditions_conjoined(self):
+        source = ("#ifdef CONFIG_A\n#ifdef CONFIG_B\nint ab;\n"
+                  "#endif\n#endif\n")
+        unit = preprocess(source)
+        blocks = collect_blocks(unit.tree, unit.manager.true)
+        inner = [b for b in blocks if b.preview(2) == "int ab"]
+        assert len(inner) == 1
+        condition = inner[0].condition
+        assert condition.evaluate({defined_var("CONFIG_A"): True,
+                                   defined_var("CONFIG_B"): True})
+        assert not condition.evaluate({defined_var("CONFIG_A"): True})
+
+    def test_coverage_allyes(self):
+        unit = preprocess(SOURCE)
+        blocks = collect_blocks(unit.tree, unit.manager.true)
+        allyes = allyes_assignment(["CONFIG_A", "CONFIG_B"])
+        coverage = configuration_coverage(blocks, allyes)
+        # allyes enables a_only and b_only but NOT the #else block:
+        # like the paper's intro claim, a maximal configuration cannot
+        # cover conditionals with more than one branch.
+        assert coverage == pytest.approx(2 / 3)
+        assert configuration_coverage(blocks, {}) == \
+            pytest.approx(1 / 3)
+
+    def test_coverage_empty_blocks(self):
+        assert configuration_coverage([], {}) == 1.0
+
+    def test_dead_blocks(self):
+        unit = preprocess(SOURCE)
+        blocks = collect_blocks(unit.tree, unit.manager.true)
+        constraint = unit.manager.var(defined_var("CONFIG_A"))
+        dead = dead_blocks(blocks, constraint)
+        assert [b.preview(2) for b in dead] == ["int not_a"]
+
+    def test_block_relations(self):
+        unit = preprocess(SOURCE)
+        blocks = collect_blocks(unit.tree, unit.manager.true)
+        a_only = next(b for b in blocks if "a_only" in b.preview())
+        not_a = next(b for b in blocks if "not_a" in b.preview())
+        b_only = next(b for b in blocks if "b_only" in b.preview())
+        assert mutually_exclusive(a_only, not_a)
+        assert not mutually_exclusive(a_only, b_only)
+        assert always_together(a_only, a_only)
+        assert not always_together(a_only, b_only)
+
+    def test_histogram(self):
+        source = ("#ifdef A\nint x;\n#ifdef B\nint y;\n#endif\n#endif\n")
+        unit = preprocess(source)
+        blocks = collect_blocks(unit.tree, unit.manager.true)
+        histogram = block_histogram(blocks)
+        assert histogram.get(1, 0) >= 1
+        assert histogram.get(2, 0) >= 1
+
+
+class TestSymbols:
+    SOURCE = """\
+typedef unsigned long ulong_t;
+#ifdef CONFIG_WIDE
+typedef unsigned long long wide_t;
+#endif
+int shared_counter;
+#ifdef CONFIG_A
+static int helper(void) { return 1; }
+#else
+static int helper(void) { return 2; }
+#endif
+struct device { int id; };
+"""
+
+    def test_file_scope_symbols(self):
+        result = parse_c(self.SOURCE)
+        symbols = file_scope_symbols(result.ast, result.unit.manager)
+        names = {s.name for s in symbols}
+        assert {"ulong_t", "wide_t", "shared_counter", "helper",
+                "device"} <= names
+
+    def test_kinds(self):
+        result = parse_c(self.SOURCE)
+        symbols = file_scope_symbols(result.ast, result.unit.manager)
+        kinds = {s.name: s.kind for s in symbols}
+        assert kinds["ulong_t"] == "typedef"
+        assert kinds["shared_counter"] == "variable"
+        assert kinds["helper"] == "function"
+        assert kinds["device"] == "tag"
+
+    def test_conditional_symbols(self):
+        result = parse_c(self.SOURCE)
+        symbols = file_scope_symbols(result.ast, result.unit.manager)
+        conditional = {s.name for s in conditional_symbols(symbols)}
+        assert "wide_t" in conditional
+        assert "shared_counter" not in conditional
+
+    def test_multiply_declared(self):
+        result = parse_c(self.SOURCE)
+        symbols = file_scope_symbols(result.ast, result.unit.manager)
+        multi = multiply_declared(symbols)
+        assert "helper" in multi
+        assert len(multi["helper"]) == 2
+        # The two helper definitions live in disjoint configurations.
+        first, second = multi["helper"]
+        assert (first.condition & second.condition).is_false()
+
+    def test_presence_conditions(self):
+        result = parse_c(self.SOURCE)
+        symbols = file_scope_symbols(result.ast, result.unit.manager)
+        wide = next(s for s in symbols if s.name == "wide_t")
+        assert wide.condition.evaluate(
+            {defined_var("CONFIG_WIDE"): True})
+        assert not wide.condition.evaluate({})

@@ -1,0 +1,132 @@
+"""Unit tests for AST utilities: choice construction, projection,
+traversal, and rendering."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.ast import (Node, StaticChoice, count_choice_nodes,
+                              count_nodes, dump, iter_tokens,
+                              make_choice, project)
+
+
+@pytest.fixture()
+def mgr():
+    return BDDManager()
+
+
+def tok(text):
+    return Token(TokenKind.IDENTIFIER, text)
+
+
+class TestMakeChoice:
+    def test_single_branch_collapses(self, mgr):
+        node = Node("X", (tok("a"),))
+        assert make_choice([(mgr.true, node)]) is node
+
+    def test_two_branches(self, mgr):
+        a = mgr.var("A")
+        one, two = Node("X", ()), Node("Y", ())
+        choice = make_choice([(a, one), (~a, two)])
+        assert isinstance(choice, StaticChoice)
+        assert len(choice.branches) == 2
+
+    def test_equal_values_merge_conditions(self, mgr):
+        a = mgr.var("A")
+        node = Node("X", ())
+        merged = make_choice([(a, node), (~a, Node("X", ()))])
+        # Equal values under complementary conditions: no choice left.
+        assert merged == node
+
+    def test_nested_choice_flattened(self, mgr):
+        a, b = mgr.var("A"), mgr.var("B")
+        inner = StaticChoice(((b, Node("P", ())), (~b, Node("Q", ()))))
+        outer = make_choice([(a, inner), (~a, Node("R", ()))])
+        assert isinstance(outer, StaticChoice)
+        assert len(outer.branches) == 3
+        for condition, _value in outer.branches:
+            assert not condition.is_false()
+
+
+class TestProjection:
+    def test_project_node(self, mgr):
+        a = mgr.var("A")
+        choice = StaticChoice(((a, tok("x")), (~a, tok("y"))))
+        root = Node("Root", (choice,))
+        on = project(root, {"A": True})
+        off = project(root, {"A": False})
+        assert on.children[0].text == "x"
+        assert off.children[0].text == "y"
+
+    def test_project_absent_branch(self, mgr):
+        a = mgr.var("A")
+        choice = StaticChoice(((a, tok("x")),))  # no else coverage
+        root = Node("Root", (tok("pre"), choice))
+        off = project(root, {"A": False})
+        assert [t.text for t in off.children] == ["pre"]
+
+    def test_project_splices_list_choices(self, mgr):
+        a = mgr.var("A")
+        choice = StaticChoice(((a, (tok("x"), tok("y"))),
+                               (~a, (tok("z"),))))
+        sequence = (tok("head"), choice, tok("tail"))
+        on = project(sequence, {"A": True})
+        assert [t.text for t in on] == ["head", "x", "y", "tail"]
+        off = project(sequence, {"A": False})
+        assert [t.text for t in off] == ["head", "z", "tail"]
+
+
+class TestTraversal:
+    def test_iter_tokens_order(self, mgr):
+        a = mgr.var("A")
+        tree = Node("R", (tok("one"),
+                          StaticChoice(((a, tok("two")),
+                                        (~a, tok("three")))),
+                          tok("four")))
+        assert [t.text for t in iter_tokens(tree)] == \
+            ["one", "two", "three", "four"]
+
+    def test_count_nodes(self, mgr):
+        a = mgr.var("A")
+        tree = Node("R", (Node("S", ()),
+                          StaticChoice(((a, Node("T", ())),))))
+        assert count_nodes(tree) == 4
+        assert count_choice_nodes(tree) == 1
+
+    def test_counts_through_tuples(self, mgr):
+        tree = (Node("A", ()), (Node("B", ()),))
+        assert count_nodes(tree) == 2
+        assert count_choice_nodes(tree) == 0
+
+
+class TestDump:
+    def test_dump_node(self):
+        text = dump(Node("Decl", (tok("int"), tok("x"))))
+        assert "Decl" in text
+        assert "'int'" in text
+
+    def test_dump_choice_shows_conditions(self, mgr):
+        a = mgr.var("CONFIG_A")
+        choice = StaticChoice(((a, tok("x")), (~a, tok("y"))))
+        text = dump(choice)
+        assert "StaticChoice" in text
+        assert "CONFIG_A" in text
+
+    def test_dump_handles_none_and_tuples(self):
+        assert dump(None).strip() == "-"
+        assert "List" in dump((tok("a"),))
+        assert dump(()) .strip() == "[]"
+
+
+class TestEquality:
+    def test_node_equality(self):
+        assert Node("X", ()) == Node("X", ())
+        assert Node("X", ()) != Node("Y", ())
+        assert hash(Node("X", ())) == hash(Node("X", ()))
+
+    def test_choice_equality(self, mgr):
+        a = mgr.var("A")
+        one = StaticChoice(((a, Node("X", ())),))
+        two = StaticChoice(((a, Node("X", ())),))
+        assert one == two
+        assert hash(one) == hash(two)

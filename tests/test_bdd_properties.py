@@ -1,0 +1,137 @@
+"""Property-based tests: BDDs against a brute-force truth-table model."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+
+VARS = ["A", "B", "C", "D"]
+
+
+# A boolean expression AST as nested tuples, plus an evaluator and a
+# BDD builder, so hypothesis can compare the two semantics.
+
+def exprs():
+    leaves = st.sampled_from([("var", v) for v in VARS] +
+                             [("const", True), ("const", False)])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def eval_expr(expr, env):
+    tag = expr[0]
+    if tag == "var":
+        return env[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "not":
+        return not eval_expr(expr[1], env)
+    left = eval_expr(expr[1], env)
+    right = eval_expr(expr[2], env)
+    if tag == "and":
+        return left and right
+    if tag == "or":
+        return left or right
+    return left != right  # xor
+
+
+def build_bdd(expr, mgr):
+    tag = expr[0]
+    if tag == "var":
+        return mgr.var(expr[1])
+    if tag == "const":
+        return mgr.constant(expr[1])
+    if tag == "not":
+        return ~build_bdd(expr[1], mgr)
+    left = build_bdd(expr[1], mgr)
+    right = build_bdd(expr[2], mgr)
+    if tag == "and":
+        return left & right
+    if tag == "or":
+        return left | right
+    return left ^ right
+
+
+def all_envs():
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        yield dict(zip(VARS, bits))
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs())
+def test_bdd_matches_truth_table(expr):
+    mgr = BDDManager()
+    node = build_bdd(expr, mgr)
+    for env in all_envs():
+        assert node.evaluate(env) == eval_expr(expr, env)
+
+
+@settings(max_examples=150, deadline=None)
+@given(exprs(), exprs())
+def test_canonicity(e1, e2):
+    """Two expressions denote the same function iff same BDD node."""
+    mgr = BDDManager()
+    # Register all variables up front so both builds share an order.
+    for v in VARS:
+        mgr.var(v)
+    n1, n2 = build_bdd(e1, mgr), build_bdd(e2, mgr)
+    same_function = all(
+        eval_expr(e1, env) == eval_expr(e2, env) for env in all_envs())
+    assert (n1 is n2) == same_function
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs())
+def test_negation_is_complement(expr):
+    mgr = BDDManager()
+    node = build_bdd(expr, mgr)
+    neg = ~node
+    for env in all_envs():
+        assert neg.evaluate(env) == (not node.evaluate(env))
+    assert (node | neg).is_tautology()
+    assert (node & neg).is_false()
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs())
+def test_sat_count_matches_truth_table(expr):
+    mgr = BDDManager()
+    node = build_bdd(expr, mgr)
+    expected = sum(1 for env in all_envs() if eval_expr(expr, env))
+    assert node.sat_count(VARS) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs(), st.sampled_from(VARS), st.booleans())
+def test_restrict_is_partial_evaluation(expr, var, value):
+    mgr = BDDManager()
+    node = build_bdd(expr, mgr)
+    restricted = node.restrict({var: value})
+    for env in all_envs():
+        fixed = dict(env)
+        fixed[var] = value
+        assert restricted.evaluate(env) == node.evaluate(fixed)
+    assert var not in restricted.support()
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs())
+def test_one_sat_satisfies(expr):
+    mgr = BDDManager()
+    node = build_bdd(expr, mgr)
+    model = node.one_sat()
+    if model is None:
+        assert node.is_false()
+    else:
+        env = {v: model.get(v, False) for v in VARS}
+        assert node.evaluate(env)

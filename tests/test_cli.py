@@ -1,0 +1,113 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.tools import parse_cli, report_cli
+
+
+@pytest.fixture()
+def source_tree(tmp_path):
+    (tmp_path / "include").mkdir()
+    (tmp_path / "include" / "util.h").write_text(
+        "#ifndef UTIL_H\n#define UTIL_H\n"
+        "#define DOUBLE(x) ((x) * 2)\n#endif\n")
+    main = tmp_path / "main.c"
+    main.write_text(
+        "#include <util.h>\n"
+        "#ifdef CONFIG_FAST\n"
+        "int speed = DOUBLE(21);\n"
+        "#else\n"
+        "int speed = 21;\n"
+        "#endif\n"
+        "int main(void) { return speed; }\n")
+    return tmp_path
+
+
+class TestParseCli:
+    def test_parse_ok(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in out
+        assert "subparsers (max)" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = parse_cli.main([str(tmp_path / "nope.c")])
+        assert code == 2
+
+    def test_preprocess_only(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include"),
+                               "--preprocess-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "#[defined:CONFIG_FAST]" in out
+        # The macro is expanded (not evaluated): ((21) * 2).
+        assert "( ( 21 ) * 2 )" in out
+
+    def test_dump_ast(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include"),
+                               "--dump-ast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "StaticChoice" in out
+
+    def test_stats(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include"),
+                               "--stats"])
+        out = capsys.readouterr().out
+        assert "macro_definitions" in out
+
+    def test_projection(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include"),
+                               "--project", "defined:CONFIG_FAST"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "projection [defined:CONFIG_FAST]" in out
+        assert "* 2" in out or "*2" in out
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("#ifdef A\nint x = ;\n#endif\nint y;\n")
+        code = parse_cli.main([str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_define_option(self, tmp_path, capsys):
+        src = tmp_path / "d.c"
+        src.write_text("int v = VALUE;\n")
+        code = parse_cli.main([str(src), "-D", "VALUE=7"])
+        assert code == 0
+
+    def test_mapr_option(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include"),
+                               "--optimization", "MAPR"])
+        assert code == 0
+
+
+class TestReportCli:
+    def test_report(self, source_tree, capsys):
+        code = report_cli.main([str(source_tree),
+                                "-I", "include"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 2a" in out
+        assert "Table 2b" in out
+        assert "Table 3" in out
+        assert "Macro Definitions" in out
+
+    def test_skip_tools_view(self, source_tree, capsys):
+        code = report_cli.main([str(source_tree), "--skip-tools-view"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 3" not in out
+
+    def test_empty_tree(self, tmp_path, capsys):
+        code = report_cli.main([str(tmp_path)])
+        assert code == 2

@@ -1,0 +1,173 @@
+"""Tests for the synthetic kernel corpus: structure, parseability, and
+sampled projection equivalence against the single-configuration
+pipeline."""
+
+import random
+
+import pytest
+
+from repro.baselines import GccLike
+from repro.corpus import KernelSpec, generate_kernel
+from repro.cpp import PreprocessorError, project as project_tree
+from repro.superc import SuperC
+from tests.support import assignment_for, ast_signature
+from repro.parser.ast import project as ast_project
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_kernel(KernelSpec(subsystems=2,
+                                      drivers_per_subsystem=2,
+                                      figure6_entries=6))
+
+
+@pytest.fixture(scope="module")
+def superc(corpus):
+    return SuperC(corpus.filesystem(),
+                  include_paths=corpus.include_paths)
+
+
+class TestStructure:
+    def test_deterministic(self):
+        spec = KernelSpec(seed=7, subsystems=2)
+        assert generate_kernel(spec).files == \
+            generate_kernel(spec).files
+
+    def test_different_seeds_differ(self):
+        one = generate_kernel(KernelSpec(seed=1, subsystems=2))
+        two = generate_kernel(KernelSpec(seed=2, subsystems=2))
+        assert one.files != two.files
+
+    def test_manifest(self, corpus):
+        assert len(corpus.units) == 4
+        assert all(unit in corpus.files for unit in corpus.units)
+        assert all(unit.endswith(".c") for unit in corpus.units)
+        assert corpus.headers()
+        assert "CONFIG_64BIT" in corpus.config_variables
+
+    def test_core_headers_present(self, corpus):
+        for header in ("include/linux/module.h",
+                       "include/linux/kernel.h",
+                       "include/linux/init.h",
+                       "include/asm/bitsperlong.h"):
+            assert header in corpus.files
+
+    def test_scaled_spec(self):
+        base = KernelSpec(subsystems=1, drivers_per_subsystem=1)
+        bigger = base.scaled(3)
+        assert bigger.drivers_per_subsystem == 3
+        assert bigger.subsystems == 3
+
+    def test_write_to_directory(self, corpus, tmp_path):
+        corpus.write_to_directory(str(tmp_path))
+        unit = corpus.units[0]
+        on_disk = tmp_path.joinpath(*unit.split("/"))
+        assert on_disk.read_text() == corpus.files[unit]
+        assert (tmp_path / "include" / "linux" / "kernel.h").exists()
+
+    def test_report_cli_on_written_corpus(self, corpus, tmp_path,
+                                          capsys):
+        from repro.tools import report_cli
+        corpus.write_to_directory(str(tmp_path))
+        code = report_cli.main([str(tmp_path), "-I", "include",
+                                "--units", "drivers/input/*.c"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 3" in out
+
+    def test_interaction_inventory(self, corpus):
+        """The corpus must exercise every Table 1 interaction."""
+        text = "\n".join(corpus.files.values())
+        assert "##" in text                       # token pasting
+        assert "#x" in text or "# x" in text      # stringification
+        assert "#error" in text
+        assert "ARCH_HEADER" in text              # computed include
+        assert "BITS_PER_LONG" in text            # multiply-defined
+        assert "NR_CPUS < 256" in text            # non-boolean
+        assert "typedef" in text
+        assert "__attribute__" in text
+
+
+class TestParsing:
+    def test_all_units_parse(self, corpus, superc):
+        for unit in corpus.units:
+            result = superc.parse_file(unit)
+            assert result.ok, (unit,
+                               [str(f) for f in result.failures][:3])
+
+    def test_variability_preserved(self, corpus, superc):
+        result = superc.parse_file(corpus.units[0])
+        # The AST must cover many configurations.
+        assert result.parse.stats.max_subparsers >= 2
+        assert result.unit.stats.conditionals > 10
+
+    def test_error_configs_recorded(self, corpus, superc):
+        result = superc.parse_file(corpus.units[0])
+        assert len(result.unit.error_conditions) == 1
+
+    def test_preprocessor_stats_populated(self, corpus, superc):
+        result = superc.parse_file(corpus.units[0])
+        stats = result.unit.stats
+        assert stats.macro_definitions > 20
+        assert stats.invocations > 10
+        assert stats.includes >= 9
+        assert stats.reincluded_headers >= 1
+        assert stats.computed_includes >= 1
+        assert stats.token_pastings >= 1
+        assert stats.stringifications >= 1
+        assert stats.non_boolean_expressions >= 1
+        assert stats.hoisted_invocations >= 1
+
+
+class TestProjectionEquivalence:
+    """Sampled configurations: SuperC projected = gcc-like pipeline."""
+
+    def sample_configs(self, corpus, rng, count):
+        for _ in range(count):
+            config = {}
+            for name in corpus.config_variables:
+                if rng.random() < 0.4:
+                    config[name] = "1"
+            yield config
+
+    def test_sampled_configs_match(self, corpus, superc):
+        rng = random.Random(0)
+        unit = corpus.units[0]
+        result = superc.parse_file(unit)
+        assert result.ok
+        source = corpus.files[unit]
+        for config in self.sample_configs(corpus, rng, 6):
+            assignment = assignment_for(result.unit, config)
+            feasible = result.unit.feasible_condition.evaluate(
+                assignment)
+            gcc = GccLike(corpus.filesystem(),
+                          include_paths=corpus.include_paths,
+                          config=config)
+            if not feasible:
+                with pytest.raises(PreprocessorError):
+                    gcc.compile_source(source, unit)
+                continue
+            baseline = gcc.compile_source(source, unit)
+            # Token-level projection equivalence.
+            projected = project_tree(result.unit.tree, assignment)
+            assert [t.text for t in projected] == \
+                [t.text for t in baseline.tokens]
+            # AST-level projection equivalence.
+            projected_ast = ast_project(result.ast, assignment)
+            assert ast_signature(projected_ast) == \
+                ast_signature(baseline.ast)
+
+    def test_all_units_one_config(self, corpus, superc):
+        config = {"CONFIG_64BIT": "1", "CONFIG_SMP": "1"}
+        for unit in corpus.units:
+            result = superc.parse_file(unit)
+            assignment = assignment_for(result.unit, config)
+            if not result.unit.feasible_condition.evaluate(assignment):
+                continue
+            gcc = GccLike(corpus.filesystem(),
+                          include_paths=corpus.include_paths,
+                          config=config)
+            baseline = gcc.compile_source(corpus.files[unit], unit)
+            projected = project_tree(result.unit.tree, assignment)
+            assert [t.text for t in projected] == \
+                [t.text for t in baseline.tokens], unit

@@ -1,0 +1,187 @@
+"""The gold oracle: projection equivalence between the
+configuration-preserving preprocessor and the single-configuration
+preprocessor (the Python analogue of the paper's gcc -E comparison,
+§6.3).
+
+For every source and every total configuration:
+
+    project(config_preserving(src), config) == simple(src, config)
+
+Includes both hand-picked regression sources and a hypothesis-driven
+random source generator.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpp import PreprocessorError
+from tests.support import (diff_token_streams, project_unit, preprocess,
+                           simple_preprocess, token_texts_match)
+
+CONFIG_VARS = ["A", "B", "C"]
+
+
+def all_configs(variables=CONFIG_VARS, values=("1",)):
+    """All subsets of variables, each defined to each value."""
+    for present in itertools.product([False, True], repeat=len(variables)):
+        for value in values:
+            yield {name: value
+                   for name, flag in zip(variables, present) if flag}
+
+
+def check_equivalence(source, files=None, configs=None):
+    unit = preprocess(source, files=files)
+    for config in configs if configs is not None else all_configs():
+        feasible = unit.feasible_condition
+        from tests.support import assignment_for
+        if not feasible.evaluate(assignment_for(unit, config)):
+            # This configuration hits a #error branch: the oracle must
+            # agree by raising.
+            with pytest.raises(PreprocessorError):
+                simple_preprocess(source, defines=config, files=files)
+            continue
+        expected = simple_preprocess(source, defines=config, files=files)
+        actual = project_unit(unit, config)
+        assert token_texts_match(actual, expected), (
+            f"config={config}\n" + diff_token_streams(actual, expected))
+
+
+HAND_PICKED = [
+    # Plain text, no preprocessor at all.
+    "int main(void) { return 0; }",
+    # Simple conditional inclusion.
+    "#ifdef A\nint a;\n#endif\nint tail;",
+    # if/else/elif chains.
+    "#if defined(A)\na\n#elif defined(B)\nb\n#else\nc\n#endif",
+    # Nested conditionals.
+    "#ifdef A\n#ifdef B\nboth\n#else\njust_a\n#endif\n#endif",
+    # Multiply-defined object-like macro (Figure 2).
+    ("#ifdef A\n#define BITS 64\n#else\n#define BITS 32\n#endif\n"
+     "int x = BITS;"),
+    # Conditional function-like macro chain (Figures 3-4).
+    ("#define __to(x) ((x)+1)\n"
+     "#ifdef A\n#define to __to\n#endif\n"
+     "to(5);"),
+    # Token pasting over a multiply-defined macro (Figure 5).
+    ("#ifdef A\n#define BITS 64\n#else\n#define BITS 32\n#endif\n"
+     "#define uintB uint(BITS)\n#define uint(x) xuint(x)\n"
+     "#define xuint(x) __le ## x\nuintB *p;"),
+    # Conditional inside a function-like invocation's arguments.
+    ("#define WRAP(x) [x]\nWRAP(\n#ifdef A\n1\n#else\n2\n#endif\n)"),
+    # Argument count differs per branch.
+    ("#define TWO(x, y) (x|y)\n#define ONE(x) (x)\n"
+     "#ifdef A\nTWO(1,\n#else\nONE(\n#endif\n9)"),
+    # Conditional #define / #undef interplay.
+    ("#define M 0\n#ifdef A\n#undef M\n#define M 1\n#endif\n"
+     "#ifdef B\n#undef M\n#endif\nM"),
+    # #if on macro values with arithmetic.
+    ("#ifdef A\n#define N 8\n#else\n#define N 2\n#endif\n"
+     "#if N > 4\nbig\n#else\nsmall\n#endif"),
+    # defined() of a macro defined in a branch.
+    ("#ifdef A\n#define FEATURE\n#endif\n"
+     "#if defined(FEATURE)\nfeature_on\n#endif"),
+    # Stringification and pasting with conditional macro values.
+    ("#ifdef A\n#define NAME alpha\n#else\n#define NAME beta\n#endif\n"
+     "#define STR_(x) #x\n#define STR(x) STR_(x)\nSTR(NAME)"),
+    # Redefinition between uses.
+    "#define X 1\nX\n#undef X\n#define X 2\nX",
+    # Error directive in one branch.
+    "#ifdef A\n#error unsupported\n#endif\nok",
+    # Variadic macros under conditionals.
+    ("#define LOG(fmt, ...) printf(fmt, __VA_ARGS__)\n"
+     "#ifdef A\nLOG(\"x\", 1)\n#else\nLOG(\"y\", 2, 3)\n#endif"),
+    # Empty branches and implicit else.
+    "#ifdef A\n#endif\nx\n#ifdef B\n#else\ny\n#endif",
+    # Self-referential macro.
+    "#define Z Z + 1\nZ",
+    # Conditional around an entire function definition.
+    ("#ifdef A\nstatic int f(void) { return 1; }\n#endif\n"
+     "int g(void) { return 0; }"),
+]
+
+
+@pytest.mark.parametrize("source", HAND_PICKED,
+                         ids=range(len(HAND_PICKED)))
+def test_hand_picked_equivalence(source):
+    check_equivalence(source)
+
+
+def test_equivalence_with_includes():
+    files = {
+        "include/config.h": ("#ifndef CONFIG_H\n#define CONFIG_H\n"
+                             "#ifdef A\n#define MODE 1\n#else\n"
+                             "#define MODE 2\n#endif\n#endif\n"),
+        "include/util.h": "#define MAX(a,b) ((a)>(b)?(a):(b))\n",
+    }
+    source = ("#include <config.h>\n#include <util.h>\n"
+              "#include <config.h>\n"
+              "int m = MAX(MODE, 0);\n")
+    check_equivalence(source, files=files)
+
+
+def test_equivalence_with_computed_include():
+    files = {"include/a.h": "from_a\n", "include/b.h": "from_b\n"}
+    source = ("#ifdef A\n#define H <a.h>\n#else\n#define H <b.h>\n#endif\n"
+              "#include H\n")
+    check_equivalence(source, files=files)
+
+
+# ---- randomized differential testing -------------------------------------
+
+@st.composite
+def random_source(draw):
+    """Generate small random preprocessor programs over A/B/C."""
+    lines = []
+    macro_counter = itertools.count()
+    defined_macros = []
+    depth = 0
+    num_lines = draw(st.integers(min_value=1, max_value=14))
+    for _ in range(num_lines):
+        choice = draw(st.integers(min_value=0, max_value=7))
+        if choice == 0:
+            name = f"M{next(macro_counter)}"
+            body = draw(st.sampled_from(
+                ["1", "2", "x y", "", "A", "M0"]))
+            lines.append(f"#define {name} {body}")
+            defined_macros.append(name)
+        elif choice == 1 and defined_macros:
+            target = draw(st.sampled_from(defined_macros))
+            lines.append(f"#undef {target}")
+        elif choice == 2:
+            var = draw(st.sampled_from(CONFIG_VARS))
+            form = draw(st.sampled_from(["#ifdef {}", "#ifndef {}",
+                                         "#if defined({})"]))
+            lines.append(form.format(var))
+            depth += 1
+        elif choice == 3 and depth > 0:
+            lines.append("#else")
+            # #else only valid if the frame has no else yet; keep it
+            # simple by immediately closing.
+            lines.append("#endif")
+            depth -= 1
+        elif choice == 4 and depth > 0:
+            lines.append("#endif")
+            depth -= 1
+        elif choice == 5 and defined_macros:
+            lines.append(draw(st.sampled_from(defined_macros)))
+        else:
+            lines.append(draw(st.sampled_from(
+                ["int x;", "y", "f(1, 2);", "a + b"])))
+    lines.extend("#endif" for _ in range(depth))
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_source())
+def test_random_source_equivalence(source):
+    check_equivalence(source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_source(), random_source())
+def test_random_source_with_header(header, body):
+    files = {"include/h.h": header}
+    check_equivalence("#include <h.h>\n" + body, files=files)

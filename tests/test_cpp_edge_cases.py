@@ -1,0 +1,183 @@
+"""Edge-case preprocessor tests: odd-but-legal usage patterns."""
+
+import pytest
+
+from repro.cpp import Conditional, PreprocessorError, iter_tokens
+from tests.support import preprocess, project_unit, simple_preprocess, \
+    texts
+
+
+def tree_texts(unit):
+    return [t.text for t in iter_tokens(unit.tree)]
+
+
+class TestMacroOddities:
+    def test_macro_named_like_keyword(self):
+        # Any identifier may be a macro name, including C keywords.
+        unit = preprocess("#define while until\nwhile (1);")
+        assert tree_texts(unit) == ["until", "(", "1", ")", ";"]
+
+    def test_undef_builtin(self):
+        unit = preprocess("#undef __STDC__\n__STDC__")
+        assert tree_texts(unit) == ["__STDC__"]
+
+    def test_redefine_builtin(self):
+        unit = preprocess("#define __STDC__ 0\n__STDC__")
+        assert tree_texts(unit) == ["0"]
+
+    def test_function_like_macro_taking_keyword(self):
+        unit = preprocess("#define WRAP(x) { x }\nWRAP(return 1;)")
+        assert tree_texts(unit) == ["{", "return", "1", ";", "}"]
+
+    def test_object_macro_expanding_to_directive_like_tokens(self):
+        # A macro body that *looks* like a directive is not one.
+        unit = preprocess("#define BODY # include\nBODY")
+        assert tree_texts(unit) == ["#", "include"]
+
+    def test_macro_with_unbalanced_parens_in_body(self):
+        unit = preprocess("#define OPEN (\n#define CLOSE )\n"
+                          "int x = OPEN 1 + 2 CLOSE;")
+        assert tree_texts(unit) == \
+            ["int", "x", "=", "(", "1", "+", "2", ")", ";"]
+
+    def test_expansion_producing_invocation_of_next(self):
+        unit = preprocess("#define A B(\n#define B(x) [x]\nA 7 )")
+        # A expands to `B(`, then `B( 7 )` is a complete invocation on
+        # rescan.
+        assert tree_texts(unit) == ["[", "7", "]"]
+
+    def test_arguments_spanning_many_lines(self):
+        unit = preprocess("#define SUM3(a,b,c) (a+b+c)\n"
+                          "SUM3(\n1,\n2,\n3\n)")
+        assert tree_texts(unit) == list("(1+2+3)")
+
+
+class TestConditionalExpressions:
+    def test_if_with_function_like_macro(self):
+        source = ("#define TEST(x) ((x) > 2)\n"
+                  "#if TEST(5)\nyes\n#endif\n")
+        unit = preprocess(source)
+        assert tree_texts(unit) == ["yes"]
+
+    def test_if_with_nested_defined_via_ifdef_chain(self):
+        source = ("#ifdef A\n#define HAS_A 1\n#else\n#define HAS_A 0\n"
+                  "#endif\n"
+                  "#if HAS_A\na_code\n#endif\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == ["a_code"]
+        assert texts(project_unit(unit, {})) == []
+
+    def test_if_ternary(self):
+        unit = preprocess("#if 1 ? 0 : 1\nx\n#else\ny\n#endif")
+        assert tree_texts(unit) == ["y"]
+
+    def test_if_char_comparison(self):
+        unit = preprocess("#if 'z' > 'a'\nx\n#endif")
+        assert tree_texts(unit) == ["x"]
+
+    def test_empty_if_expression_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#if\nx\n#endif")
+
+    def test_division_by_zero_in_feasible_branch(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#if 1 / 0\nx\n#endif")
+
+    def test_non_boolean_nested_in_boolean(self):
+        source = ("#if defined(A) && (N + 1 > 2)\nx\n#endif\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1", "N": "5"})) == ["x"]
+        assert texts(project_unit(unit, {"A": "1", "N": "0"})) == []
+        assert texts(project_unit(unit, {"N": "5"})) == []
+
+
+class TestConditionalStructure:
+    def test_deeply_nested(self):
+        depth = 12
+        lines = []
+        for i in range(depth):
+            lines.append(f"#ifdef V{i}")
+        lines.append("innermost")
+        for _ in range(depth):
+            lines.append("#endif")
+        unit = preprocess("\n".join(lines))
+        assert unit.stats.max_conditional_depth == depth
+        config = {f"V{i}": "1" for i in range(depth)}
+        assert texts(project_unit(unit, config)) == ["innermost"]
+        config.pop("V5")
+        assert texts(project_unit(unit, config)) == []
+
+    def test_adjacent_conditionals_same_variable(self):
+        source = ("#ifdef A\none\n#endif\n"
+                  "#ifdef A\ntwo\n#endif\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == ["one", "two"]
+        assert texts(project_unit(unit, {})) == []
+
+    def test_else_of_else(self):
+        source = ("#ifdef A\na\n#else\n#ifdef B\nb\n#else\nc\n#endif\n"
+                  "#endif\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == ["a"]
+        assert texts(project_unit(unit, {"B": "1"})) == ["b"]
+        assert texts(project_unit(unit, {})) == ["c"]
+
+    def test_conditional_spanning_macro_definition_and_use(self):
+        source = ("#ifdef A\n"
+                  "#define VALUE 1\n"
+                  "int x = VALUE;\n"
+                  "#undef VALUE\n"
+                  "#endif\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == \
+            ["int", "x", "=", "1", ";"]
+
+
+class TestStringifyPasteCorners:
+    def test_stringify_spacing_normalized(self):
+        unit = preprocess('#define S(x) #x\nS( a   +   b )')
+        assert tree_texts(unit) == ['"a + b"']
+
+    def test_stringify_empty_argument(self):
+        unit = preprocess('#define S(x) #x\nS()')
+        assert tree_texts(unit) == ['""']
+
+    def test_paste_forming_number(self):
+        unit = preprocess("#define G(a,b) a##b\nG(1, 2)")
+        assert tree_texts(unit) == ["12"]
+
+    def test_paste_invalid_token_raises(self):
+        # '.' '.' pastes into '..', which is not a C token.
+        with pytest.raises(PreprocessorError):
+            preprocess("#define G(a,b) a##b\nG(., .)")
+
+    def test_paste_forming_multichar_punctuators(self):
+        # `+ ## +` and `< ## <` make valid punctuators.
+        unit = preprocess("#define G(a,b) a##b\nG(+, +) G(<, <)")
+        assert tree_texts(unit) == ["++", "<<"]
+
+    def test_double_paste(self):
+        unit = preprocess("#define G3(a,b,c) a##b##c\nG3(x, y, z)")
+        assert tree_texts(unit) == ["xyz"]
+
+    def test_charize_like_double_stringify(self):
+        source = ("#define S1(x) #x\n#define S(x) S1(x)\n"
+                  "#define NAME widget\nS(NAME)")
+        unit = preprocess(source)
+        assert tree_texts(unit) == ['"widget"']
+
+
+class TestOracleAgreementOnEdges:
+    @pytest.mark.parametrize("source", [
+        "#define while until\nwhile (1);",
+        "#define OPEN (\nint x = OPEN 1 );",
+        "#define A B(\n#define B(x) [x]\nA 7 )",
+        '#define S(x) #x\nS( a   +   b )',
+        "#define G3(a,b,c) a##b##c\nG3(x, y, z)",
+        "#if 'z' > 'a'\nx\n#endif",
+        "#define TEST(x) ((x) > 2)\n#if TEST(5)\nyes\n#endif",
+    ])
+    def test_flat_sources_match_oracle(self, source):
+        unit = preprocess(source)
+        expected = simple_preprocess(source)
+        assert texts(project_unit(unit, {})) == texts(expected)

@@ -1,0 +1,178 @@
+"""Tests for the evaluation instrumentation (Tables 2-3, Figures 8-10)."""
+
+import pytest
+
+from repro.corpus import KernelSpec, generate_kernel
+from repro.eval import (developers_view, figure8, measure_gcc_like,
+                        measure_level, measure_superc,
+                        measure_typechef_proxy, percentiles, tools_view,
+                        top_included_headers, unit_size_bytes,
+                        unit_statistics)
+from repro.superc import SuperC
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_kernel(KernelSpec(subsystems=2,
+                                      drivers_per_subsystem=2,
+                                      figure6_entries=5))
+
+
+@pytest.fixture(scope="module")
+def superc(corpus):
+    return SuperC(corpus.filesystem(),
+                  include_paths=corpus.include_paths)
+
+
+class TestPercentiles:
+    def test_empty(self):
+        assert percentiles([]) == (0, 0, 0)
+
+    def test_single(self):
+        assert percentiles([7]) == (7, 7, 7)
+
+    def test_ordering(self):
+        p50, p90, p100 = percentiles(list(range(101)))
+        assert p50 == 50
+        assert p90 == 90
+        assert p100 == 100
+
+    def test_max_is_max(self):
+        assert percentiles([5, 1, 9, 3])[2] == 9
+
+
+class TestTable2:
+    def test_developers_view_rows(self, corpus):
+        table = developers_view(corpus)
+        assert set(table) == {"loc", "all_directives", "define",
+                              "conditional", "include"}
+        assert table["loc"].total > 300
+        assert table["all_directives"].total > 50
+        # Most macro definitions live in headers (the paper: 84%).
+        assert table["define"].pct_headers > 50
+        # C files dominate include directives (the paper: 85%).
+        assert table["include"].pct_c > 50
+
+    def test_counts_consistent(self, corpus):
+        table = developers_view(corpus)
+        assert table["all_directives"].total >= (
+            table["define"].total + table["conditional"].total +
+            table["include"].total)
+        for row in table.values():
+            assert row.total == row.in_c + row.in_headers
+            assert abs(row.pct_c + row.pct_headers - 100.0) < 1e-6
+
+    def test_top_included_headers(self, corpus):
+        top = top_included_headers(corpus, count=12)
+        assert len(top) == 12
+        names = [name for name, _count, _pct in top]
+        # kernel.h, types.h, and module.h are pulled in by every
+        # driver (the paper: module.h reaches 49% of C files).
+        assert any("types.h" in name for name in names)
+        assert any("module.h" in name for name in names)
+        counts = [count for _name, count, _pct in top]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] == len(corpus.c_files())
+        assert top[0][2] == 100.0
+
+
+class TestTable3:
+    def test_unit_statistics_keys(self, corpus, superc):
+        stats = unit_statistics(superc, corpus.units[0])
+        for key in ("macro_definitions", "invocations",
+                    "declarations_and_statements", "typedef_names"):
+            assert key in stats
+
+    def test_tools_view_table(self, corpus, superc):
+        table = tools_view(superc, corpus.units)
+        assert "Macro Definitions" in table
+        p50, p90, p100 = table["Macro Definitions"]
+        assert p50 <= p90 <= p100
+        assert p100 > 0
+        # Most definitions are inside conditionals (guards).
+        contained = table["  Contained in conditionals"]
+        assert contained[0] > 0.8 * p50
+        # Parser rows are populated.
+        assert table["C Declarations & Statements"][2] > 10
+        assert table["  Containing conditionals"][2] >= 1
+        assert table["Typedef Names"][2] >= 1
+
+    def test_non_boolean_and_error_rows(self, corpus, superc):
+        table = tools_view(superc, corpus.units)
+        assert table["  With non-boolean expressions"][2] >= 1
+        assert table["Error Directives"][2] >= 1
+        assert table["  Reincluded headers"][2] >= 1
+
+
+class TestFigure8:
+    def test_optimized_level(self, corpus):
+        dist = measure_level(corpus, "Shared, Lazy, & Early")
+        assert dist.exploded_units == 0
+        assert dist.maximum >= 1
+        assert dist.p99 <= dist.maximum
+
+    def test_ordering_between_levels(self, corpus):
+        best = measure_level(corpus, "Shared, Lazy, & Early")
+        follow_only = measure_level(corpus, "Follow-Set Only")
+        assert best.maximum <= follow_only.maximum
+
+    def test_mapr_worse_or_explodes(self, corpus):
+        # A small kill switch keeps the (intentionally) exponential
+        # MAPR run fast; the mechanism is identical at any threshold.
+        best = measure_level(corpus, "Shared, Lazy, & Early")
+        mapr = measure_level(corpus, "MAPR", kill_switch=200)
+        assert mapr.exploded_units > 0 or \
+            mapr.maximum > best.maximum
+
+    def test_cdf_monotone(self, corpus):
+        dist = measure_level(corpus, "Shared, Lazy, & Early")
+        cdf = dist.cdf()
+        fractions = [fraction for _x, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_figure8_all_levels(self, corpus):
+        table = figure8(corpus, levels=["Shared, Lazy, & Early",
+                                        "Follow-Set Only"])
+        assert set(table) == {"Shared, Lazy, & Early",
+                              "Follow-Set Only"}
+        for dist in table.values():
+            assert dist.describe()
+
+
+class TestFigures9And10:
+    def test_superc_latency(self, corpus):
+        dist = measure_superc(corpus)
+        assert len(dist.samples) == len(corpus.units)
+        assert dist.total > 0
+        assert dist.maximum >= dist.percentile(0.5)
+        for sample in dist.samples:
+            assert sample.parse > 0
+            assert sample.size_bytes > 1000
+
+    def test_typechef_proxy_slower(self):
+        # A tiny corpus keeps this fast: the proxy's slowdown is large
+        # (the paper reports 3.4-3.8x typical with a 15-minute tail;
+        # the formula algebra is the whole difference here).
+        small = generate_kernel(KernelSpec(
+            subsystems=1, drivers_per_subsystem=1, figure6_entries=3))
+        superc = measure_superc(small)
+        typechef = measure_typechef_proxy(small)
+        assert typechef.total > superc.total
+
+    def test_gcc_like_fastest(self, corpus):
+        superc = measure_superc(corpus)
+        gcc = measure_gcc_like(corpus)
+        assert gcc.total < superc.total
+        assert len(gcc.samples) == len(corpus.units)
+
+    def test_unit_size_includes_headers(self, corpus):
+        unit = corpus.units[0]
+        size = unit_size_bytes(corpus, unit)
+        assert size > len(corpus.files[unit])
+
+    def test_cdf_shape(self, corpus):
+        dist = measure_superc(corpus)
+        cdf = dist.cdf()
+        assert cdf[0][1] <= cdf[-1][1]
+        assert cdf[-1][1] == pytest.approx(1.0)

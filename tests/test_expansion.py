@@ -1,0 +1,241 @@
+"""Unit tests for configuration-preserving macro expansion.
+
+Exercises the paper's Figures 2-5 directly at the expansion layer via
+the full preprocessor (expansion needs the driver to populate the
+conditional macro table).
+"""
+
+from repro.cpp import Conditional, is_flat, iter_tokens
+from tests.support import preprocess, project_unit, texts
+
+
+def tree_texts(unit):
+    return [t.text for t in iter_tokens(unit.tree)]
+
+
+class TestObjectLike:
+    def test_simple(self):
+        unit = preprocess("#define X 42\nX")
+        assert tree_texts(unit) == ["42"]
+
+    def test_nested(self):
+        unit = preprocess("#define A B\n#define B 7\nA")
+        assert tree_texts(unit) == ["7"]
+
+    def test_self_reference_stops(self):
+        unit = preprocess("#define X X\nX")
+        assert tree_texts(unit) == ["X"]
+
+    def test_mutual_recursion_stops(self):
+        unit = preprocess("#define A B\n#define B A\nA B")
+        assert tree_texts(unit) == ["A", "B"]
+
+    def test_definition_order_respected(self):
+        source = "#define A 1\nA\n#define A 2\nA"
+        unit = preprocess(source)
+        assert tree_texts(unit) == ["1", "2"]
+
+    def test_undef_respected(self):
+        source = "#define A 1\nA\n#undef A\nA"
+        unit = preprocess(source)
+        assert tree_texts(unit) == ["1", "A"]
+
+    def test_empty_body(self):
+        unit = preprocess("#define NOTHING\na NOTHING b")
+        assert tree_texts(unit) == ["a", "b"]
+
+
+class TestFunctionLike:
+    def test_single_arg(self):
+        unit = preprocess("#define SQ(x) ((x)*(x))\nSQ(3)")
+        assert tree_texts(unit) == list("((3)*(3))")
+
+    def test_multiple_args(self):
+        unit = preprocess("#define ADD(a, b) a + b\nADD(1, 2)")
+        assert tree_texts(unit) == ["1", "+", "2"]
+
+    def test_nested_invocation_in_args(self):
+        unit = preprocess("#define SQ(x) x*x\nSQ(SQ(2))")
+        assert tree_texts(unit) == ["2", "*", "2", "*", "2", "*", "2"]
+
+    def test_no_parens_not_invocation(self):
+        unit = preprocess("#define F(x) x\nF + 1")
+        assert tree_texts(unit) == ["F", "+", "1"]
+
+    def test_invocation_spans_lines(self):
+        unit = preprocess("#define F(a,b) a b\nF(1,\n2)")
+        assert tree_texts(unit) == ["1", "2"]
+
+    def test_empty_argument(self):
+        unit = preprocess("#define F(a, b) [a|b]\nF(, 2)")
+        assert tree_texts(unit) == ["[", "|", "2", "]"]
+
+    def test_zero_params(self):
+        unit = preprocess("#define F() 9\nF()")
+        assert tree_texts(unit) == ["9"]
+
+    def test_variadic(self):
+        unit = preprocess(
+            "#define LOG(fmt, ...) printf(fmt, __VA_ARGS__)\n"
+            'LOG("x", 1, 2)')
+        assert tree_texts(unit) == \
+            ["printf", "(", '"x"', ",", "1", ",", "2", ")"]
+
+    def test_gnu_named_variadic(self):
+        unit = preprocess("#define LOG(args...) printf(args)\nLOG(1, 2)")
+        assert tree_texts(unit) == ["printf", "(", "1", ",", "2", ")"]
+
+    def test_parenthesized_arg_with_commas(self):
+        unit = preprocess("#define ID(x) x\nID((a, b))")
+        assert tree_texts(unit) == ["(", "a", ",", "b", ")"]
+
+    def test_object_then_function(self):
+        unit = preprocess(
+            "#define CALL F\n#define F(x) <x>\nCALL(5)")
+        assert tree_texts(unit) == ["<", "5", ">"]
+
+
+class TestPasteAndStringify:
+    def test_paste(self):
+        unit = preprocess("#define GLUE(a, b) a ## b\nGLUE(fo, o)")
+        assert tree_texts(unit) == ["foo"]
+
+    def test_paste_builds_macro_name_not_reexpanded(self):
+        # C99: the pasted token is not re-expanded as the gluing macro.
+        source = ("#define foo 42\n"
+                  "#define GLUE(a, b) a ## b\n"
+                  "GLUE(f, oo)")
+        unit = preprocess(source)
+        assert tree_texts(unit) == ["42"]
+
+    def test_stringify(self):
+        unit = preprocess('#define STR(x) #x\nSTR(hello world)')
+        assert tree_texts(unit) == ['"hello world"']
+
+    def test_stringify_preserves_inner_strings(self):
+        unit = preprocess('#define STR(x) #x\nSTR("quoted")')
+        assert tree_texts(unit) == ['"\\"quoted\\""']
+
+    def test_stringify_raw_not_expanded(self):
+        unit = preprocess('#define N 4\n#define STR(x) #x\nSTR(N)')
+        assert tree_texts(unit) == ['"N"']
+
+    def test_paste_raw_not_expanded(self):
+        unit = preprocess(
+            "#define N 4\n#define GLUE(a,b) a##b\nGLUE(N, N)")
+        assert tree_texts(unit) == ["NN"]
+
+    def test_empty_paste_operand(self):
+        unit = preprocess("#define GLUE(a,b) [a##b]\nGLUE(x,)")
+        assert tree_texts(unit) == ["[", "x", "]"]
+
+
+class TestMultiplyDefined:
+    SOURCE = ("#ifdef CONFIG_64BIT\n"
+              "#define BITS_PER_LONG 64\n"
+              "#else\n"
+              "#define BITS_PER_LONG 32\n"
+              "#endif\n"
+              "int x = BITS_PER_LONG;\n")
+
+    def test_figure2_expands_to_conditional(self):
+        unit = preprocess(self.SOURCE)
+        conditionals = [i for i in unit.tree if isinstance(i, Conditional)]
+        assert len(conditionals) == 1
+        assert len(conditionals[0].branches) == 2
+
+    def test_figure2_projections(self):
+        unit = preprocess(self.SOURCE)
+        on = texts(project_unit(unit, {"CONFIG_64BIT": "1"}))
+        off = texts(project_unit(unit, {}))
+        assert on == ["int", "x", "=", "64", ";"]
+        assert off == ["int", "x", "=", "32", ";"]
+
+    def test_partially_defined_macro(self):
+        source = ("#ifdef A\n#define M 1\n#endif\nM\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == ["1"]
+        assert texts(project_unit(unit, {})) == ["M"]
+
+
+class TestHoistedInvocations:
+    FIGURE34 = (
+        "#define __cpu_to_le32(x) ((__le32)(__u32)(x))\n"
+        "#ifdef __KERNEL__\n"
+        "#define cpu_to_le32 __cpu_to_le32\n"
+        "#endif\n"
+        "cpu_to_le32(val);\n")
+
+    def test_figure4_kernel_config(self):
+        unit = preprocess(self.FIGURE34)
+        kernel = texts(project_unit(unit, {"__KERNEL__": "1"}))
+        assert kernel == ["(", "(", "__le32", ")", "(", "__u32", ")",
+                          "(", "val", ")", ")", ";"]
+
+    def test_figure4_nonkernel_config(self):
+        unit = preprocess(self.FIGURE34)
+        user = texts(project_unit(unit, {}))
+        assert user == ["cpu_to_le32", "(", "val", ")", ";"]
+
+    def test_figure4_hoist_counted(self):
+        unit = preprocess(self.FIGURE34)
+        assert unit.stats.hoisted_invocations >= 1
+
+    def test_explicit_conditional_inside_args(self):
+        source = ("#define F(x) [x]\n"
+                  "F(\n"
+                  "#ifdef A\n"
+                  "1\n"
+                  "#else\n"
+                  "2\n"
+                  "#endif\n"
+                  ")\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == ["[", "1", "]"]
+        assert texts(project_unit(unit, {})) == ["[", "2", "]"]
+
+    def test_conditional_changes_arg_count(self):
+        source = ("#define F(x, y) (x | y)\n"
+                  "#define G(x) (x)\n"
+                  "#ifdef A\n"
+                  "F(1,\n"
+                  "#else\n"
+                  "G(\n"
+                  "#endif\n"
+                  "2)\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"A": "1"})) == \
+            ["(", "1", "|", "2", ")"]
+        assert texts(project_unit(unit, {})) == ["(", "2", ")"]
+
+    def test_figure5_paste_over_multiply_defined(self):
+        source = ("#ifdef CONFIG_64BIT\n"
+                  "#define BITS_PER_LONG 64\n"
+                  "#else\n"
+                  "#define BITS_PER_LONG 32\n"
+                  "#endif\n"
+                  "#define uintBPL_t uint(BITS_PER_LONG)\n"
+                  "#define uint(x) xuint(x)\n"
+                  "#define xuint(x) __le ## x\n"
+                  "uintBPL_t *p;\n")
+        unit = preprocess(source)
+        assert texts(project_unit(unit, {"CONFIG_64BIT": "1"})) == \
+            ["__le64", "*", "p", ";"]
+        assert texts(project_unit(unit, {})) == ["__le32", "*", "p", ";"]
+
+
+class TestStatistics:
+    def test_invocation_counts(self):
+        unit = preprocess("#define A 1\n#define B A\nA B")
+        assert unit.stats.invocations == 3  # A, B, nested A
+        assert unit.stats.nested_invocations == 1
+
+    def test_builtin_counted(self):
+        unit = preprocess("__STDC__\n")
+        assert unit.stats.builtin_invocations == 1
+
+    def test_paste_and_stringify_counts(self):
+        unit = preprocess(
+            "#define G(a,b) a##b\n#define S(x) #x\nG(a,b) S(q)")
+        assert unit.stats.token_pastings == 1
+        assert unit.stats.stringifications == 1

@@ -1,0 +1,206 @@
+"""Unit tests for #if expression parsing, evaluation, and BDD
+conversion (§3.2)."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpp.conditions import (ConditionConverter, defined_var,
+                                  expr_var, value_var)
+from repro.cpp.expression import (ExprError, collect_identifiers,
+                                  evaluate_int, parse_char, parse_expression,
+                                  parse_int)
+from repro.lexer import lex
+from repro.lexer.tokens import TokenKind
+
+
+def parse(text):
+    return parse_expression(
+        [t for t in lex(text)
+         if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)])
+
+
+def ev(text, defined=(), values=None):
+    values = values or {}
+    return evaluate_int(parse(text),
+                        is_defined=lambda n: n in defined,
+                        value_of=lambda n: values.get(n, 0))
+
+
+class TestIntLiterals:
+    @pytest.mark.parametrize("text,value", [
+        ("42", 42), ("0x1F", 31), ("010", 8), ("0", 0),
+        ("42L", 42), ("0xFFUL", 255), ("1u", 1),
+    ])
+    def test_parse_int(self, text, value):
+        assert parse_int(text) == value
+
+    def test_bad_int(self):
+        with pytest.raises(ExprError):
+            parse_int("12abc")
+
+    @pytest.mark.parametrize("text,value", [
+        ("'a'", 97), ("'\\n'", 10), ("'\\0'", 0), ("'\\x41'", 65),
+        ("L'a'", 97), ("'\\101'", 65),
+    ])
+    def test_parse_char(self, text, value):
+        assert parse_char(text) == value
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("text,value", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 / 3", 3),
+        ("-7 / 2", -3),        # C truncates toward zero
+        ("-7 % 2", -1),
+        ("1 << 4", 16),
+        ("255 >> 4", 15),
+        ("5 & 3", 1),
+        ("5 | 3", 7),
+        ("5 ^ 3", 6),
+        ("!0", 1),
+        ("!5", 0),
+        ("~0", -1),
+        ("-(3)", -3),
+        ("+3", 3),
+        ("1 < 2", 1),
+        ("2 <= 2", 1),
+        ("3 > 4", 0),
+        ("3 >= 3", 1),
+        ("1 == 1", 1),
+        ("1 != 1", 0),
+        ("1 && 0", 0),
+        ("1 || 0", 1),
+        ("1 ? 10 : 20", 10),
+        ("0 ? 10 : 20", 20),
+        ("'A' == 65", 1),
+    ])
+    def test_arithmetic(self, text, value):
+        assert ev(text) == value
+
+    def test_undefined_identifier_is_zero(self):
+        assert ev("FOO") == 0
+        assert ev("FOO + 1") == 1
+
+    def test_identifier_values(self):
+        assert ev("N > 4", values={"N": 8}) == 1
+
+    def test_defined_forms(self):
+        assert ev("defined(X)", defined={"X"}) == 1
+        assert ev("defined X", defined={"X"}) == 1
+        assert ev("defined(X)") == 0
+        assert ev("!defined(X) && defined(Y)", defined={"Y"}) == 1
+
+    def test_short_circuit_avoids_division(self):
+        assert ev("0 && (1 / 0)") == 0
+        assert ev("1 || (1 / 0)") == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExprError):
+            ev("1 / 0")
+        with pytest.raises(ExprError):
+            ev("1 % 0")
+
+    def test_precedence_chain(self):
+        assert ev("1 | 2 ^ 3 & 4") == (1 | (2 ^ (3 & 4)))
+        assert ev("1 + 2 << 3") == ((1 + 2) << 3)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("text", [
+        "", "1 +", "(1", "1)", "defined", "defined(1)", "? 1 : 2",
+        "1 ? 2", ";",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(ExprError):
+            parse(text)
+
+    def test_collect_identifiers(self):
+        expr = parse("A && defined(B) || C + A")
+        assert sorted(collect_identifiers(expr)) == ["A", "A", "C"]
+
+
+class TestBDDConversion:
+    @pytest.fixture()
+    def mgr(self):
+        return BDDManager()
+
+    def convert(self, mgr, text, defined_map=None, guards=()):
+        defined_map = defined_map or {}
+
+        def defined_condition(name):
+            return defined_map.get(name)
+
+        converter = ConditionConverter(
+            mgr, defined_condition,
+            is_guard=lambda name: name in guards)
+        return converter, converter.to_bdd(parse(text))
+
+    def test_constants(self, mgr):
+        assert self.convert(mgr, "0")[1].is_false()
+        assert self.convert(mgr, "1")[1].is_true()
+        assert self.convert(mgr, "42")[1].is_true()
+
+    def test_defined_free_macro(self, mgr):
+        _, bdd = self.convert(mgr, "defined(CONFIG_X)")
+        assert bdd is mgr.var(defined_var("CONFIG_X"))
+
+    def test_defined_guard_macro_is_false(self, mgr):
+        _, bdd = self.convert(mgr, "defined(FOO_H)", guards={"FOO_H"})
+        assert bdd.is_false()
+
+    def test_defined_known_macro_uses_table_condition(self, mgr):
+        a = mgr.var("A")
+        _, bdd = self.convert(mgr, "defined(M)", defined_map={"M": a})
+        assert bdd is a
+
+    def test_negation_conjunction(self, mgr):
+        _, bdd = self.convert(mgr, "!defined(A) && defined(B)")
+        expected = ~mgr.var(defined_var("A")) & mgr.var(defined_var("B"))
+        assert bdd is expected
+
+    def test_free_macro_in_boolean_position(self, mgr):
+        _, bdd = self.convert(mgr, "CONFIG_N")
+        assert bdd is mgr.var(value_var("CONFIG_N"))
+
+    def test_arithmetic_subexpression_is_opaque(self, mgr):
+        """NR_CPUS < 256 cannot be decided: it becomes one variable."""
+        _, bdd = self.convert(mgr, "NR_CPUS < 256")
+        assert bdd is mgr.var(expr_var("NR_CPUS<256"))
+
+    def test_same_text_same_variable(self, mgr):
+        _, one = self.convert(mgr, "NR_CPUS < 256")
+        _, two = self.convert(mgr, "NR_CPUS  <  256")  # spacing ignored
+        assert one is two
+
+    def test_non_boolean_counted(self, mgr):
+        converter, _ = self.convert(mgr, "NR_CPUS < 256 && defined(A)")
+        assert converter.non_boolean_count == 1
+
+    def test_paper_bits_per_long_example(self, mgr):
+        """§3.2: BITS_PER_LONG == 32 hoisted over Figure 2's macro
+        simplifies to !defined(CONFIG_64BIT) after constant folding."""
+        c64 = mgr.var(defined_var("CONFIG_64BIT"))
+        _, left = self.convert(mgr, "64 == 32")
+        _, right = self.convert(mgr, "32 == 32")
+        combined = (c64 & left) | (~c64 & right)
+        assert combined is ~c64
+
+    def test_constant_folding_in_branches(self, mgr):
+        _, bdd = self.convert(mgr, "1 ? 1 : NR")
+        assert bdd.is_true()
+
+    def test_ternary_boolean(self, mgr):
+        _, bdd = self.convert(mgr, "defined(A) ? defined(B) : defined(C)")
+        a, b, c = (mgr.var(defined_var(n)) for n in "ABC")
+        assert bdd is ((a & b) | (~a & c))
+
+    def test_comparison_of_bool_to_constant(self, mgr):
+        _, bdd = self.convert(mgr, "defined(A) == 0")
+        assert bdd is ~mgr.var(defined_var("A"))
+
+    def test_opaque_preserves_order_not_folded(self, mgr):
+        """Non-boolean subexpressions are never combined or decided."""
+        _, one = self.convert(mgr, "N + 1 > 2")
+        _, two = self.convert(mgr, "N > 1")  # arithmetically equal-ish
+        assert one is not two

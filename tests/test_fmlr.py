@@ -1,0 +1,304 @@
+"""Unit tests for the FMLR engine on small grammars.
+
+The C front-end has its own tests; here the engine is exercised with
+toy grammars over preprocessed conditional token streams, including
+the paper's Figure 6 scenario (2^n configurations, O(1) subparsers).
+"""
+
+import pytest
+
+from repro.lexer.tokens import TokenKind
+from repro.parser import Build, Grammar, Node, StaticChoice, generate
+from repro.parser.ast import project as ast_project
+from repro.parser.fmlr import (FMLROptions, FMLRParser,
+                               OPTIMIZATION_LEVELS, SubparserExplosion,
+                               follow_set)
+from repro.parser.stream import BranchNode, TokenNode, build_stream, \
+    stream_tokens
+from tests.support import assignment_for, ast_signature, preprocess
+
+
+def classify(token):
+    if token.kind is TokenKind.IDENTIFIER:
+        return "IDENT"
+    if token.kind is TokenKind.NUMBER:
+        return "NUM"
+    return token.text
+
+
+def ident_list_grammar():
+    g = Grammar("Unit")
+    g.rule("Unit", ["Items"], build=Build.PASSTHROUGH)
+    g.rule("Items", ["Items", "Item"], build=Build.LIST)
+    g.rule("Items", ["Item"], build=Build.LIST)
+    g.rule("Item", ["IDENT", ";"], node_name="Stmt")
+    g.mark_complete("Item", "Items", "Unit")
+    return generate(g)
+
+
+def parse_source(source, grammar_tables=None, options=None):
+    unit = preprocess(source)
+    tables = grammar_tables or ident_list_grammar()
+    parser = FMLRParser(tables, classify, options=options)
+    result = parser.parse(unit.tree, unit.manager,
+                          unit.feasible_condition)
+    return unit, result
+
+
+class TestStream:
+    def test_flat_stream(self):
+        unit = preprocess("a ; b ;")
+        first = build_stream(unit.tree, unit.manager)
+        nodes = stream_tokens(first)
+        # 4 tokens + EOF sentinel.
+        assert [n.token.text for n in nodes] == ["a", ";", "b", ";", ""]
+        assert [n.position for n in nodes] == [0, 1, 2, 3, 4]
+
+    def test_branch_node_built(self):
+        unit = preprocess("#ifdef A\nx ;\n#endif\ny ;")
+        first = build_stream(unit.tree, unit.manager)
+        assert isinstance(first, BranchNode)
+        # Two alternatives: the branch and the implicit else.
+        assert len(first.alternatives) == 2
+
+    def test_empty_branch_points_past_conditional(self):
+        unit = preprocess("#ifdef A\nx ;\n#endif\ny ;")
+        first = build_stream(unit.tree, unit.manager)
+        implicit = [sub for _c, sub in first.alternatives
+                    if isinstance(sub, TokenNode)
+                    and sub.token.text == "y"]
+        assert len(implicit) == 1
+
+    def test_positions_document_order(self):
+        unit = preprocess("#ifdef A\nx ;\n#else\nz ;\n#endif\ny ;")
+        first = build_stream(unit.tree, unit.manager)
+        nodes = stream_tokens(first)
+        assert [n.token.text for n in nodes] == \
+            ["x", ";", "z", ";", "y", ";", ""]
+
+
+class TestFollowSet:
+    def follow_of(self, source):
+        unit = preprocess(source)
+        first = build_stream(unit.tree, unit.manager)
+        pairs = follow_set(unit.manager.true, first, unit.manager)
+        return unit, [(cond.to_expr_string(), node.token.text)
+                      for cond, node in pairs]
+
+    def test_plain_token(self):
+        _unit, pairs = self.follow_of("x ;")
+        assert pairs == [("1", "x")]
+
+    def test_single_conditional(self):
+        _unit, pairs = self.follow_of("#ifdef A\nx ;\n#endif\ny ;")
+        assert pairs == [("defined:A", "x"), ("!defined:A", "y")]
+
+    def test_empty_branches_skipped(self):
+        source = ("#ifdef A\n#else\n#endif\ny ;")
+        _unit, pairs = self.follow_of(source)
+        assert pairs == [("1", "y")]
+
+    def test_sequence_of_conditionals(self):
+        source = ("#ifdef A\na ;\n#endif\n"
+                  "#ifdef B\nb ;\n#endif\n"
+                  "rest ;")
+        _unit, pairs = self.follow_of(source)
+        texts = [t for _c, t in pairs]
+        assert texts == ["a", "b", "rest"]
+        # Conditions: a under A; b under !A&&B; rest under !A&&!B.
+        assert pairs[0][0] == "defined:A"
+        assert "!defined:A" in pairs[1][0] and "defined:B" in pairs[1][0]
+
+    def test_conditions_partition(self):
+        source = ("#ifdef A\na ;\n#elif defined(B)\nb ;\n#endif\nz ;")
+        unit = preprocess(source)
+        first = build_stream(unit.tree, unit.manager)
+        pairs = follow_set(unit.manager.true, first, unit.manager)
+        union = unit.manager.false
+        for cond, _node in pairs:
+            assert (union & cond).is_false()
+            union = union | cond
+        assert union.is_true()
+
+    def test_nested_conditionals(self):
+        source = ("#ifdef A\n#ifdef B\nab ;\n#endif\na ;\n#endif\nz ;")
+        _unit, pairs = self.follow_of(source)
+        assert [t for _c, t in pairs] == ["ab", "a", "z"]
+
+    def test_eof_in_follow_set(self):
+        _unit, pairs = self.follow_of("#ifdef A\nx ;\n#endif")
+        assert [t for _c, t in pairs] == ["x", ""]
+
+
+class TestBasicParsing:
+    def test_unconditional(self):
+        _unit, result = parse_source("a ; b ;")
+        assert result.ok
+        items = result.value
+        assert len(items) == 2
+        assert all(node.name == "Stmt" for node in items)
+
+    def test_single_conditional_produces_choice(self):
+        unit, result = parse_source("#ifdef A\nx ;\n#endif\ny ;")
+        assert result.ok
+        with_a = ast_project(result.value,
+                             assignment_for(unit, {"A": "1"}))
+        without = ast_project(result.value, assignment_for(unit, {}))
+        assert len(with_a) == 2
+        assert len(without) == 1
+
+    def test_alternative_branches(self):
+        unit, result = parse_source(
+            "#ifdef A\nx ;\n#else\ny ;\n#endif")
+        assert result.ok
+        value = result.value
+        # The whole unit differs per configuration: a static choice.
+        assert isinstance(value, StaticChoice) or isinstance(value, tuple)
+        with_a = ast_project(value, assignment_for(unit, {"A": "1"}))
+        assert with_a[0].children[0].text == "x"
+
+    def test_parse_error_reports_condition(self):
+        _unit, result = parse_source("#ifdef A\n; ;\n#endif\nx ;")
+        assert not result.ok
+        assert result.failures
+        failure = result.failures[0]
+        assert "defined:A" in failure.condition.to_expr_string()
+        # The feasible configuration still parsed.
+        assert result.accepted
+
+    def test_all_configurations_fail(self):
+        _unit, result = parse_source("; broken ;")
+        assert not result.ok
+        assert not result.accepted
+
+    def test_empty_input(self):
+        g = Grammar("Unit")
+        g.rule("Unit", [])
+        g.rule("Unit", ["IDENT"])
+        unit = preprocess("")
+        parser = FMLRParser(generate(g), classify)
+        result = parser.parse(unit.tree, unit.manager)
+        assert result.ok
+
+    def test_error_branch_not_parsed(self):
+        source = "#ifdef BAD\n#error no\n#endif\nx ;"
+        _unit, result = parse_source(source)
+        assert result.ok  # BAD branch infeasible, not a failure
+
+
+class TestTokenSharing:
+    def test_paper_figure1_token_parsed_twice(self):
+        """Line 10 of Figure 1b parses in two configurations but the
+        result still covers both: conditions on the choice partition."""
+        source = ("#ifdef P\nhead ;\n#endif\n"
+                  "shared ;")
+        unit, result = parse_source(source)
+        assert result.ok
+        both = ast_project(result.value,
+                           assignment_for(unit, {"P": "1"}))
+        one = ast_project(result.value, assignment_for(unit, {}))
+        assert [n.children[0].text for n in both] == ["head", "shared"]
+        assert [n.children[0].text for n in one] == ["shared"]
+
+
+class TestOptimizationLevels:
+    SOURCE = ("#ifdef C1\na ;\n#endif\n"
+              "#ifdef C2\nb ;\n#endif\n"
+              "#ifdef C3\nc ;\n#endif\n"
+              "#ifdef C4\nd ;\n#endif\n"
+              "tail ;")
+
+    @pytest.mark.parametrize("level", list(OPTIMIZATION_LEVELS))
+    def test_all_levels_agree(self, level):
+        unit, baseline = parse_source(self.SOURCE)
+        _unit2, result = parse_source(
+            self.SOURCE, options=OPTIMIZATION_LEVELS[level])
+        assert result.ok
+        for config in ({}, {"C1": "1"}, {"C2": "1", "C4": "1"},
+                       {"C1": "1", "C2": "1", "C3": "1", "C4": "1"}):
+            expect = ast_project(baseline.value,
+                                 assignment_for(unit, config))
+            actual = ast_project(result.value,
+                                 assignment_for(unit, config))
+            assert ast_signature(expect) == ast_signature(actual), \
+                (level, config)
+
+    def test_optimized_fewer_subparsers_than_mapr(self):
+        _u1, optimized = parse_source(self.SOURCE)
+        _u2, mapr = parse_source(
+            self.SOURCE, options=OPTIMIZATION_LEVELS["MAPR"])
+        assert optimized.stats.max_subparsers <= \
+            mapr.stats.max_subparsers
+
+    def test_figure6_constant_subparsers(self):
+        """18 conditional initializers, 2^18 configurations, but the
+        optimized engine needs only a handful of subparsers."""
+        lines = []
+        for index in range(18):
+            lines += [f"#ifdef CONFIG_{index}", f"check_{index} ;",
+                      "#endif"]
+        lines.append("nullend ;")
+        source = "\n".join(lines)
+        _unit, result = parse_source(source)
+        assert result.ok
+        assert result.stats.max_subparsers <= 6
+
+    def test_figure6_mapr_explodes(self):
+        lines = []
+        for index in range(18):
+            lines += [f"#ifdef CONFIG_{index}", f"check_{index} ;",
+                      "#endif"]
+        lines.append("nullend ;")
+        source = "\n".join(lines)
+        options = FMLROptions(follow_set=False, lazy_shifts=False,
+                              shared_reduces=False, early_reduces=False,
+                              choice_merging=False, kill_switch=500)
+        with pytest.raises(SubparserExplosion):
+            parse_source(source, options=options)
+
+    def test_shared_reduce_counted(self):
+        _unit, result = parse_source(self.SOURCE)
+        assert result.stats.shared_reduce_count > 0 or \
+            result.stats.max_subparsers <= 3
+
+    def test_instrumentation_counts(self):
+        _unit, result = parse_source(self.SOURCE)
+        stats = result.stats
+        assert stats.iterations == len(stats.subparser_counts)
+        assert stats.max_subparsers == max(stats.subparser_counts)
+        assert stats.merges > 0
+
+
+class TestMerging:
+    def test_subparsers_merge_after_conditional(self):
+        # After the conditional, both configurations converge on the
+        # same stack: exactly one subparser should continue.
+        source = "#ifdef A\na ;\n#else\nb ;\n#endif\ntail1 ; tail2 ;"
+        _unit, result = parse_source(source)
+        assert result.ok
+        assert result.stats.merges >= 1
+        # After merging, the tail must not be parsed twice: total
+        # iterations stay small.
+        assert result.stats.max_subparsers <= 3
+
+    def test_choice_node_at_complete_nonterminal(self):
+        source = "#ifdef A\na ;\n#else\nb ;\n#endif\ntail ;"
+        unit, result = parse_source(source)
+        value = result.value
+        # The merged list contains a choice between Stmt(a) and Stmt(b).
+        found_choice = []
+
+        def walk(node):
+            if isinstance(node, StaticChoice):
+                found_choice.append(node)
+                for _c, branch in node.branches:
+                    walk(branch)
+            elif isinstance(node, Node):
+                for child in node.children:
+                    walk(child)
+            elif isinstance(node, tuple):
+                for child in node:
+                    walk(child)
+
+        walk(value)
+        assert found_choice

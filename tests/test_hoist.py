@@ -1,0 +1,164 @@
+"""Unit tests for Algorithm 1 (hoisting static conditionals)."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpp.hoist import branch_count, hoist, unhoist
+from repro.cpp.tree import Conditional
+from repro.lexer import lex
+from repro.lexer.tokens import TokenKind
+
+
+@pytest.fixture()
+def mgr():
+    return BDDManager()
+
+
+def toks(text):
+    return [t for t in lex(text)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def branch_texts(branches):
+    return sorted((cond.to_expr_string(), [t.text for t in tokens])
+                  for cond, tokens in branches)
+
+
+class TestFlatInput:
+    def test_tokens_only_single_branch(self, mgr):
+        branches = hoist(mgr.true, toks("a b c"))
+        assert len(branches) == 1
+        cond, tokens = branches[0]
+        assert cond.is_true()
+        assert [t.text for t in tokens] == ["a", "b", "c"]
+
+    def test_empty_input(self, mgr):
+        branches = hoist(mgr.true, [])
+        assert len(branches) == 1
+        assert branches[0][0].is_true()
+        assert branches[0][1] == []
+
+    def test_enclosing_condition_preserved(self, mgr):
+        a = mgr.var("A")
+        branches = hoist(a, toks("x"))
+        assert branches[0][0] is a
+
+
+class TestSingleConditional:
+    def test_two_branches(self, mgr):
+        a = mgr.var("A")
+        cond = Conditional([(a, toks("x")), (~a, toks("y"))])
+        branches = hoist(mgr.true, [cond])
+        assert branch_texts(branches) == [("!A", ["y"]), ("A", ["x"])]
+
+    def test_implicit_else_materialized(self, mgr):
+        a = mgr.var("A")
+        cond = Conditional([(a, toks("x"))])
+        branches = hoist(mgr.true, [cond])
+        assert branch_texts(branches) == [("!A", []), ("A", ["x"])]
+
+    def test_surrounding_tokens_duplicated(self, mgr):
+        # The paper's Figure 4b: (val) is duplicated into each branch.
+        a = mgr.var("K")
+        cond = Conditional([(a, toks("f")), (~a, toks("g"))])
+        items = cond, *toks("( val )")
+        branches = hoist(mgr.true, list(items))
+        assert branch_texts(branches) == [
+            ("!K", ["g", "(", "val", ")"]),
+            ("K", ["f", "(", "val", ")"]),
+        ]
+
+    def test_infeasible_combination_dropped(self, mgr):
+        a = mgr.var("A")
+        # Outer condition A, inner branch on !A: infeasible.
+        cond = Conditional([(~a, toks("dead")), (a, toks("live"))])
+        branches = hoist(a, [cond])
+        assert branch_texts(branches) == [("A", ["live"])]
+
+
+class TestNestedConditionals:
+    def test_nested_cross_product(self, mgr):
+        a, b = mgr.var("A"), mgr.var("B")
+        inner = Conditional([(b, toks("i")), (~b, toks("j"))])
+        outer = Conditional([(a, [toks("x")[0], inner]), (~a, toks("y"))])
+        branches = hoist(mgr.true, [outer])
+        assert branch_texts(branches) == [
+            ("!A", ["y"]),
+            ("A && !B", ["x", "j"]),
+            ("A && B", ["x", "i"]),
+        ]
+
+    def test_sequential_conditionals_multiply(self, mgr):
+        a, b = mgr.var("A"), mgr.var("B")
+        one = Conditional([(a, toks("p"))])
+        two = Conditional([(b, toks("q"))])
+        branches = hoist(mgr.true, [one, two])
+        assert len(branches) == 4
+        rebuilt = mgr.false
+        for cond, _tokens in branches:
+            rebuilt = rebuilt | cond
+        assert rebuilt.is_true()
+
+    def test_branch_count_estimate(self, mgr):
+        a, b = mgr.var("A"), mgr.var("B")
+        one = Conditional([(a, toks("p"))])
+        two = Conditional([(b, toks("q"))])
+        assert branch_count([one, two], mgr.true) == 4
+        assert branch_count(toks("a b"), mgr.true) == 1
+
+
+class TestInvariants:
+    def test_partition(self, mgr):
+        """Branch conditions are disjoint and cover the input condition."""
+        a, b = mgr.var("A"), mgr.var("B")
+        inner = Conditional([(b, toks("i"))])
+        outer = Conditional([(a, [inner]), (~a, toks("y"))])
+        enclosing = mgr.var("C")
+        branches = hoist(enclosing, [outer, *toks("tail")])
+        union = mgr.false
+        for i, (cond_i, _) in enumerate(branches):
+            assert not cond_i.is_false()
+            for cond_j, _ in branches[i + 1:]:
+                assert (cond_i & cond_j).is_false()
+            union = union | cond_i
+        assert union is enclosing
+
+    def test_flat_branches(self, mgr):
+        a, b = mgr.var("A"), mgr.var("B")
+        inner = Conditional([(b, toks("i"))])
+        outer = Conditional([(a, [inner])])
+        from repro.lexer.tokens import Token
+        for _cond, tokens in hoist(mgr.true, [outer]):
+            assert all(isinstance(t, Token) for t in tokens)
+
+    def test_projection_equivalence(self, mgr):
+        """Per-configuration token sequences are unchanged by hoisting."""
+        from repro.cpp.tree import project
+        a, b = mgr.var("A"), mgr.var("B")
+        inner = Conditional([(b, toks("i")), (~b, toks("j"))])
+        tree = [*toks("head"), Conditional([(a, [inner])]), *toks("tail")]
+        branches = hoist(mgr.true, tree)
+        for assign in ({"A": x, "B": y} for x in (False, True)
+                       for y in (False, True)):
+            expected = [t.text for t in project(tree, assign)]
+            selected = [
+                [t.text for t in tokens]
+                for cond, tokens in branches if cond.evaluate(assign)]
+            assert len(selected) == 1
+            assert selected[0] == expected
+
+
+class TestUnhoist:
+    def test_single_branch_splices(self, mgr):
+        items = unhoist([(mgr.true, toks("a b"))])
+        assert [t.text for t in items] == ["a", "b"]
+
+    def test_multiple_branches_make_conditional(self, mgr):
+        a = mgr.var("A")
+        items = unhoist([(a, toks("x")), (~a, toks("y"))])
+        assert len(items) == 1
+        assert isinstance(items[0], Conditional)
+
+    def test_false_branches_dropped(self, mgr):
+        items = unhoist([(mgr.false, toks("x")), (mgr.true, toks("y"))])
+        assert [t.text for t in items] == ["y"]

@@ -1,0 +1,108 @@
+"""Unit tests for include resolution and guard detection."""
+
+import pytest
+
+from repro.cpp.includes import (DictFileSystem, IncludeResolver,
+                                RealFileSystem, detect_guard)
+
+
+class TestDictFileSystem:
+    def test_read_and_exists(self):
+        fs = DictFileSystem({"a/b.h": "x"})
+        assert fs.read("a/b.h") == "x"
+        assert fs.exists("a/b.h")
+        assert fs.read("a/c.h") is None
+        assert not fs.exists("a/c.h")
+
+    def test_paths_normalized(self):
+        fs = DictFileSystem({"a/./b.h": "x"})
+        assert fs.read("a/b.h") == "x"
+        assert fs.read("a/sub/../b.h") == "x"
+
+
+class TestRealFileSystem:
+    def test_read(self, tmp_path):
+        target = tmp_path / "real.h"
+        target.write_text("content")
+        fs = RealFileSystem()
+        assert fs.read(str(target)) == "content"
+        assert fs.exists(str(target))
+        assert fs.read(str(tmp_path / "nope.h")) is None
+
+
+class TestResolver:
+    FILES = {
+        "src/main.c": "",
+        "src/local.h": "local",
+        "include/linux/shared.h": "shared",
+        "include/local.h": "include-local",
+    }
+
+    def resolver(self):
+        return IncludeResolver(DictFileSystem(self.FILES), ["include"])
+
+    def test_quoted_prefers_includer_directory(self):
+        path = self.resolver().resolve("local.h", True, "src/main.c")
+        assert path == "src/local.h"
+
+    def test_quoted_falls_back_to_include_paths(self):
+        path = self.resolver().resolve("linux/shared.h", True,
+                                       "src/main.c")
+        assert path == "include/linux/shared.h"
+
+    def test_angle_skips_includer_directory(self):
+        path = self.resolver().resolve("local.h", False, "src/main.c")
+        assert path == "include/local.h"
+
+    def test_unresolvable(self):
+        assert self.resolver().resolve("missing.h", False,
+                                       "src/main.c") is None
+
+
+class TestGuardDetection:
+    def test_classic_guard(self):
+        text = ("#ifndef FOO_H\n#define FOO_H\nint x;\n#endif\n")
+        assert detect_guard(text) == "FOO_H"
+
+    def test_if_not_defined_form(self):
+        text = ("#if !defined(FOO_H)\n#define FOO_H\nint x;\n#endif\n")
+        assert detect_guard(text) == "FOO_H"
+
+    def test_if_not_defined_no_parens(self):
+        text = ("#if !defined FOO_H\n#define FOO_H\n#endif\n")
+        assert detect_guard(text) == "FOO_H"
+
+    def test_leading_comment_allowed(self):
+        text = ("/* header comment */\n"
+                "#ifndef G_H\n#define G_H\nint x;\n#endif\n")
+        assert detect_guard(text) == "G_H"
+
+    def test_no_guard_plain_header(self):
+        assert detect_guard("int x;\n") is None
+
+    def test_wrong_define_name(self):
+        text = ("#ifndef FOO_H\n#define BAR_H\n#endif\n")
+        assert detect_guard(text) is None
+
+    def test_content_after_endif_breaks_guard(self):
+        text = ("#ifndef FOO_H\n#define FOO_H\n#endif\nint leak;\n")
+        assert detect_guard(text) is None
+
+    def test_early_closing_endif_breaks_guard(self):
+        text = ("#ifndef FOO_H\n#define FOO_H\n#endif\n"
+                "#ifdef X\n#endif\n")
+        assert detect_guard(text) is None
+
+    def test_nested_conditionals_inside_guard_ok(self):
+        text = ("#ifndef FOO_H\n#define FOO_H\n"
+                "#ifdef X\nint x;\n#endif\n"
+                "#endif\n")
+        assert detect_guard(text) == "FOO_H"
+
+    def test_unbalanced_returns_none(self):
+        assert detect_guard("#ifndef A\n#define A\n") is None
+
+    def test_define_must_follow_immediately(self):
+        text = ("#ifndef FOO_H\n#ifdef OTHER\n#endif\n"
+                "#define FOO_H\n#endif\n")
+        assert detect_guard(text) is None

@@ -1,0 +1,75 @@
+"""Tests for grammar/table introspection."""
+
+import pytest
+
+from repro.cgrammar import c_tables
+from repro.parser import Build, Grammar, generate
+from repro.parser.inspect import report
+
+
+@pytest.fixture()
+def if_tables():
+    g = Grammar("S")
+    g.rule("S", ["if", "(", "NUM", ")", "S"], node_name="If")
+    g.rule("S", ["if", "(", "NUM", ")", "S", "else", "S"],
+           node_name="IfElse")
+    g.rule("S", ["x", ";"], node_name="Stmt")
+    return generate(g)
+
+
+class TestSummary:
+    def test_summary_fields(self, if_tables):
+        text = report(if_tables).summary()
+        assert "start symbol 'S'" in text
+        assert "productions:" in text
+        assert "1 shift/reduce" in text
+
+    def test_no_conflicts_summary(self):
+        g = Grammar("S")
+        g.rule("S", ["a"])
+        text = report(generate(g)).summary()
+        assert "(none)" in text
+
+    def test_c_grammar_summary(self):
+        text = report(c_tables()).summary()
+        assert "start symbol 'TranslationUnit'" in text
+        assert "shift/reduce" in text
+
+
+class TestStateDump:
+    def test_initial_state(self, if_tables):
+        text = report(if_tables).describe_state(0)
+        assert "state 0" in text
+        assert "S -> . if ( NUM ) S" in text
+        assert "shift" in text
+        assert "goto S" in text
+
+    def test_accept_state_shown(self, if_tables):
+        rep = report(if_tables)
+        dumps = [rep.describe_state(s)
+                 for s in range(if_tables.num_states)]
+        assert any("accept" in text for text in dumps)
+
+
+class TestConflictExplanation:
+    def test_dangling_else_explained(self, if_tables):
+        rep = report(if_tables)
+        (conflict,) = if_tables.conflicts
+        text = rep.explain_conflict(conflict)
+        assert "shift/reduce" in text
+        assert "'else'" in text
+        assert "[shift]" in text
+        assert "[reduce]" in text
+        # The competing items are the two if-forms.
+        assert "S -> if ( NUM ) S ." in text
+        assert "S -> if ( NUM ) S . else S" in text
+
+    def test_conflict_report_no_conflicts(self):
+        g = Grammar("S")
+        g.rule("S", ["a"])
+        assert report(generate(g)).conflict_report() == "no conflicts"
+
+    def test_c_grammar_conflict_report(self):
+        text = report(c_tables()).conflict_report()
+        assert "'else'" in text  # dangling else present
+        assert text.count("shift/reduce") == len(c_tables().conflicts)

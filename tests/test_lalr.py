@@ -1,0 +1,300 @@
+"""Unit tests for the LALR(1) table generator and plain LR engine."""
+
+import pytest
+
+from repro.lexer import lex, TokenKind
+from repro.parser import (Assoc, Build, Grammar, GrammarError, LRParser,
+                          Node, ParseError, generate)
+
+
+def tokens_of(text):
+    return [t for t in lex(text)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def classify_text(token):
+    """Terminal = token text for identifiers/punctuators; NUM for numbers."""
+    if token.kind is TokenKind.NUMBER:
+        return "NUM"
+    return token.text
+
+
+def make_parser(grammar, **kwargs):
+    return LRParser(generate(grammar), classify_text, **kwargs)
+
+
+class TestGrammarValidation:
+    def test_unproductive_rejected(self):
+        g = Grammar("S")
+        g.rule("S", ["S", "a"])  # no base case
+        with pytest.raises(GrammarError):
+            g.finish()
+
+    def test_unknown_complete_mark_rejected(self):
+        g = Grammar("S")
+        g.rule("S", ["a"])
+        g.mark_complete("Nope")
+        with pytest.raises(GrammarError):
+            g.finish()
+
+    def test_missing_start_rejected(self):
+        g = Grammar("S")
+        g.rule("T", ["a"])
+        with pytest.raises(GrammarError):
+            g.finish()
+
+    def test_terminal_classification(self):
+        g = Grammar("S")
+        g.rule("S", ["T", "x"])
+        g.rule("T", ["y"])
+        g.finish()
+        assert g.is_terminal("x")
+        assert g.is_terminal("y")
+        assert not g.is_terminal("T")
+
+
+class TestSimpleGrammars:
+    def test_single_token(self):
+        g = Grammar("S")
+        g.rule("S", ["a"])
+        value = make_parser(g).parse(tokens_of("a"))
+        assert isinstance(value, Node)
+        assert value.name == "S"
+
+    def test_left_recursion(self):
+        g = Grammar("L")
+        g.rule("L", ["L", "a"], build=Build.LIST)
+        g.rule("L", ["a"], build=Build.LIST)
+        value = make_parser(g).parse(tokens_of("a a a a"))
+        assert isinstance(value, tuple)
+        assert [t.text for t in value] == ["a"] * 4
+
+    def test_right_recursion(self):
+        g = Grammar("R")
+        g.rule("R", ["a", "R"])
+        g.rule("R", ["a"])
+        value = make_parser(g).parse(tokens_of("a a a"))
+        depth = 0
+        node = value
+        while isinstance(node, Node):
+            depth += 1
+            node = node.children[-1]
+        assert depth == 3
+
+    def test_empty_production(self):
+        g = Grammar("S")
+        g.rule("S", ["A", "b"])
+        g.rule("A", [])
+        g.rule("A", ["a"])
+        parser = make_parser(g)
+        assert parser.parse(tokens_of("b")).name == "S"
+        assert parser.parse(tokens_of("a b")).name == "S"
+
+    def test_parse_error_reports_expected(self):
+        g = Grammar("S")
+        g.rule("S", ["a", "b"])
+        with pytest.raises(ParseError) as info:
+            make_parser(g).parse(tokens_of("a c"))
+        assert "expected" in str(info.value)
+        assert "b" in info.value.expected
+
+    def test_error_on_extra_input(self):
+        g = Grammar("S")
+        g.rule("S", ["a"])
+        with pytest.raises(ParseError):
+            make_parser(g).parse(tokens_of("a a"))
+
+    def test_error_on_truncated_input(self):
+        g = Grammar("S")
+        g.rule("S", ["a", "b"])
+        with pytest.raises(ParseError):
+            make_parser(g).parse(tokens_of("a"))
+
+
+class TestExpressionGrammar:
+    @pytest.fixture()
+    def expr_grammar(self):
+        g = Grammar("E")
+        g.rule("E", ["E", "+", "T"], node_name="Add")
+        g.rule("E", ["T"], build=Build.PASSTHROUGH)
+        g.rule("T", ["T", "*", "F"], node_name="Mul")
+        g.rule("T", ["F"], build=Build.PASSTHROUGH)
+        g.rule("F", ["(", "E", ")"], build=Build.PASSTHROUGH)
+        g.rule("F", ["NUM"], build=Build.PASSTHROUGH)
+        return g
+
+    def test_no_conflicts(self, expr_grammar):
+        tables = generate(expr_grammar)
+        assert tables.conflicts == []
+
+    def test_precedence_by_structure(self, expr_grammar):
+        value = make_parser(expr_grammar).parse(tokens_of("1 + 2 * 3"))
+        assert value.name == "Add"
+        assert value.children[2].name == "Mul"
+
+    def test_parens(self, expr_grammar):
+        value = make_parser(expr_grammar).parse(tokens_of("(1 + 2) * 3"))
+        assert value.name == "Mul"
+        # Passthrough dropped parens to reuse the Add node directly.
+        add = value.children[0]
+        assert add.name == "Add"
+
+    def test_deep_nesting(self, expr_grammar):
+        text = "(" * 50 + "1" + ")" * 50
+        value = make_parser(expr_grammar).parse(tokens_of(text))
+        assert value.text == "1"
+
+
+class TestPrecedenceDeclarations:
+    @pytest.fixture()
+    def ambiguous_expr(self):
+        # E -> E+E | E*E | NUM needs precedence to disambiguate.
+        g = Grammar("E")
+        g.precedence(Assoc.LEFT, ["+"])
+        g.precedence(Assoc.LEFT, ["*"])
+        g.rule("E", ["E", "+", "E"], node_name="Add")
+        g.rule("E", ["E", "*", "E"], node_name="Mul")
+        g.rule("E", ["NUM"], build=Build.PASSTHROUGH)
+        return g
+
+    def test_resolved_without_recorded_conflicts(self, ambiguous_expr):
+        # Precedence-resolved conflicts are intentional, not recorded.
+        tables = generate(ambiguous_expr)
+        assert tables.conflicts == []
+
+    def test_star_binds_tighter(self, ambiguous_expr):
+        value = make_parser(ambiguous_expr).parse(tokens_of("1 + 2 * 3"))
+        assert value.name == "Add"
+
+    def test_left_assoc(self, ambiguous_expr):
+        value = make_parser(ambiguous_expr).parse(tokens_of("1 + 2 + 3"))
+        assert value.name == "Add"
+        assert value.children[0].name == "Add"  # (1+2)+3
+
+    def test_right_assoc(self):
+        g = Grammar("E")
+        g.precedence(Assoc.RIGHT, ["="])
+        g.rule("E", ["E", "=", "E"], node_name="Assign")
+        g.rule("E", ["NUM"], build=Build.PASSTHROUGH)
+        value = make_parser(g).parse(tokens_of("1 = 2 = 3"))
+        assert value.children[2].name == "Assign"  # 1=(2=3)
+
+    def test_nonassoc_rejects_chain(self):
+        g = Grammar("E")
+        g.precedence(Assoc.NONASSOC, ["<"])
+        g.rule("E", ["E", "<", "E"], node_name="Less")
+        g.rule("E", ["NUM"], build=Build.PASSTHROUGH)
+        parser = make_parser(g)
+        assert parser.parse(tokens_of("1 < 2")).name == "Less"
+        with pytest.raises(ParseError):
+            parser.parse(tokens_of("1 < 2 < 3"))
+
+
+class TestDanglingElse:
+    @pytest.fixture()
+    def if_grammar(self):
+        g = Grammar("S")
+        g.rule("S", ["if", "(", "NUM", ")", "S"], node_name="If")
+        g.rule("S", ["if", "(", "NUM", ")", "S", "else", "S"],
+               node_name="IfElse")
+        g.rule("S", ["x", ";"], node_name="Stmt")
+        return g
+
+    def test_shift_preference_recorded(self, if_grammar):
+        tables = generate(if_grammar)
+        kinds = {c.kind for c in tables.conflicts}
+        assert kinds == {"shift/reduce"}
+
+    def test_else_binds_to_nearest_if(self, if_grammar):
+        value = make_parser(if_grammar).parse(
+            tokens_of("if (1) if (2) x; else x;"))
+        assert value.name == "If"
+        assert value.children[-1].name == "IfElse"
+
+
+class TestLALRButNotSLR:
+    def test_classic_lalr_grammar(self):
+        # S -> L = R | R ; L -> * R | id ; R -> L
+        # SLR(1) has a shift/reduce conflict here; LALR(1) does not.
+        g = Grammar("S")
+        g.rule("S", ["L", "=", "R"], node_name="Assign")
+        g.rule("S", ["R"], build=Build.PASSTHROUGH)
+        g.rule("L", ["*", "R"], node_name="Deref")
+        g.rule("L", ["id"], build=Build.PASSTHROUGH)
+        g.rule("R", ["L"], build=Build.PASSTHROUGH)
+        tables = generate(g)
+        assert tables.conflicts == []
+        parser = LRParser(tables, classify_text)
+        value = parser.parse(tokens_of("* id = id"))
+        assert value.name == "Assign"
+
+    def test_nullable_chain_lookaheads(self):
+        # Exercises the `reads` relation through nullable nonterminals.
+        g = Grammar("S")
+        g.rule("S", ["A", "B", "c"])
+        g.rule("A", ["a"])
+        g.rule("A", [])
+        g.rule("B", ["b"])
+        g.rule("B", [])
+        tables = generate(g)
+        assert tables.conflicts == []
+        parser = LRParser(tables, classify_text)
+        for text in ["c", "a c", "b c", "a b c"]:
+            assert parser.parse(tokens_of(text)).name == "S"
+
+
+class TestReduceReduce:
+    def test_earlier_production_wins(self):
+        g = Grammar("S")
+        g.rule("S", ["A"], node_name="ViaA")
+        g.rule("S", ["B"], node_name="ViaB")
+        g.rule("A", ["x"])
+        g.rule("B", ["x"])
+        tables = generate(g)
+        assert any(c.kind == "reduce/reduce" for c in tables.conflicts)
+        value = LRParser(tables, classify_text).parse(tokens_of("x"))
+        assert value.name == "ViaA"
+
+
+class TestBuildAnnotations:
+    def test_layout_drops_value(self):
+        g = Grammar("S")
+        g.rule("S", ["Semi", "a"])
+        g.rule("Semi", [";"], build=Build.LAYOUT)
+        value = make_parser(g).parse(tokens_of("; a"))
+        assert len(value.children) == 1
+        assert value.children[0].text == "a"
+
+    def test_action_runs_user_code(self):
+        g = Grammar("S")
+        g.rule("S", ["NUM", "+", "NUM"], build=Build.ACTION,
+               action=lambda values, ctx: int(values[0].text) +
+               int(values[2].text))
+        assert make_parser(g).parse(tokens_of("20 + 22")) == 42
+
+    def test_action_requires_callable(self):
+        g = Grammar("S")
+        with pytest.raises(GrammarError):
+            g.rule("S", ["a"], build=Build.ACTION)
+
+    def test_list_with_separator(self):
+        g = Grammar("L")
+        g.rule("L", ["L", "Comma", "NUM"], build=Build.LIST)
+        g.rule("L", ["NUM"], build=Build.LIST)
+        g.rule("Comma", [","], build=Build.LAYOUT)
+        value = make_parser(g).parse(tokens_of("1, 2, 3"))
+        assert [t.text for t in value] == ["1", "2", "3"]
+
+
+class TestTablesIntrospection:
+    def test_num_states_positive(self):
+        g = Grammar("S")
+        g.rule("S", ["a"])
+        tables = generate(g)
+        assert tables.num_states >= 3
+
+    def test_expected_terminals(self):
+        g = Grammar("S")
+        g.rule("S", ["a", "b"])
+        tables = generate(g)
+        assert tables.expected_terminals(0) == ["a"]

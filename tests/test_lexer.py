@@ -1,0 +1,169 @@
+"""Unit tests for the C lexer."""
+
+import pytest
+
+from repro.lexer import LexerError, TokenKind, lex, lex_logical_lines, \
+    render_tokens
+
+
+def kinds(text):
+    return [t.kind for t in lex(text) if t.kind is not TokenKind.EOF]
+
+
+def texts(text):
+    return [t.text for t in lex(text)
+            if t.kind not in (TokenKind.EOF, TokenKind.NEWLINE)]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = lex("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = [t for t in lex("foo_bar2") if t.kind is TokenKind.IDENTIFIER]
+        assert tok.text == "foo_bar2"
+
+    def test_keywords_are_identifiers(self):
+        assert kinds("if else while")[:3] == [TokenKind.IDENTIFIER] * 3
+
+    def test_simple_declaration(self):
+        assert texts("int x = 42;") == ["int", "x", "=", "42", ";"]
+
+    def test_newline_tokens(self):
+        assert kinds("a\nb") == [TokenKind.IDENTIFIER, TokenKind.NEWLINE,
+                                 TokenKind.IDENTIFIER]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("literal", [
+        "42", "0x1F", "0755", "3.14", "1e10", "1E-5", "0x1p+4",
+        "42UL", "1.5f", ".5", "123abc",  # pp-number is permissive
+    ])
+    def test_pp_numbers(self, literal):
+        tokens = [t for t in lex(literal) if t.kind is TokenKind.NUMBER]
+        assert len(tokens) == 1
+        assert tokens[0].text == literal
+
+    def test_number_then_op(self):
+        assert texts("1+2") == ["1", "+", "2"]
+
+    def test_exponent_sign_consumed(self):
+        assert texts("1e+5+x") == ["1e+5", "+", "x"]
+
+
+class TestLiterals:
+    def test_string(self):
+        (tok,) = [t for t in lex('"hello world"')
+                  if t.kind is TokenKind.STRING]
+        assert tok.text == '"hello world"'
+
+    def test_string_with_escapes(self):
+        (tok,) = [t for t in lex(r'"a\"b\\c"') if t.kind is TokenKind.STRING]
+        assert tok.text == r'"a\"b\\c"'
+
+    def test_char(self):
+        (tok,) = [t for t in lex("'x'") if t.kind is TokenKind.CHARACTER]
+        assert tok.text == "'x'"
+
+    def test_char_escape(self):
+        (tok,) = [t for t in lex(r"'\n'") if t.kind is TokenKind.CHARACTER]
+        assert tok.text == r"'\n'"
+
+    def test_wide_string(self):
+        (tok,) = [t for t in lex('L"wide"') if t.kind is TokenKind.STRING]
+        assert tok.text == 'L"wide"'
+
+    def test_wide_char(self):
+        (tok,) = [t for t in lex("L'w'") if t.kind is TokenKind.CHARACTER]
+        assert tok.text == "L'w'"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            lex('"oops')
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexerError):
+            lex("/* never closed")
+
+
+class TestPunctuators:
+    def test_three_char(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("f(x, ...)") == ["f", "(", "x", ",", "...", ")"]
+
+    def test_maximal_munch(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+
+    def test_hash_kinds(self):
+        tokens = lex("# ##")
+        assert tokens[0].kind is TokenKind.HASH
+        assert tokens[1].kind is TokenKind.HASHHASH
+
+
+class TestLayout:
+    def test_layout_attached(self):
+        tokens = lex("a  /* c */ b")
+        b = [t for t in tokens if t.text == "b"][0]
+        assert b.layout == "  /* c */ "
+        assert b.has_space_before
+
+    def test_line_comment_is_layout(self):
+        lines = lex_logical_lines("a // comment\nb")
+        assert [t.text for t in lines[0]] == ["a"]
+
+    def test_roundtrip_with_layout(self):
+        source = "int  main ( void ) { /*x*/ return 0 ; }"
+        assert render_tokens(lex(source)) == source
+
+    def test_render_without_layout_inserts_needed_spaces(self):
+        rendered = render_tokens(lex("int x"), with_layout=False)
+        assert rendered == "int x"
+
+    def test_render_avoids_accidental_glue(self):
+        tokens = lex("a + +b")
+        rendered = render_tokens(tokens, with_layout=False)
+        assert "++" not in rendered
+
+
+class TestContinuations:
+    def test_spliced_identifier(self):
+        assert texts("fo\\\no") == ["foo"]
+
+    def test_spliced_directive_line(self):
+        lines = lex_logical_lines("#define X \\\n 42\nY")
+        assert [t.text for t in lines[0]] == ["#", "define", "X", "42"]
+        assert [t.text for t in lines[1]] == ["Y"]
+
+    def test_line_numbers_after_splice(self):
+        lines = lex_logical_lines("a \\\n b\nc")
+        c = lines[1][0]
+        assert c.text == "c"
+        assert c.line == 3
+
+
+class TestPositions:
+    def test_line_and_col(self):
+        tokens = [t for t in lex("a\n  b")
+                  if t.kind is TokenKind.IDENTIFIER]
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_filename_recorded(self):
+        (tok,) = [t for t in lex("x", filename="f.c")
+                  if t.kind is TokenKind.IDENTIFIER]
+        assert tok.file == "f.c"
+
+
+class TestLogicalLines:
+    def test_grouping(self):
+        lines = lex_logical_lines("a b\n\nc")
+        assert [[t.text for t in line] for line in lines] == \
+            [["a", "b"], [], ["c"]]
+
+    def test_directive_line(self):
+        lines = lex_logical_lines("#ifdef X\nint a;\n#endif")
+        assert lines[0][0].kind is TokenKind.HASH
+        assert [t.text for t in lines[0]] == ["#", "ifdef", "X"]

@@ -1,0 +1,77 @@
+"""Property-based lexer tests: roundtrip and stability invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lexer import TokenKind, lex, render_tokens
+
+# Build source text from well-formed lexical atoms so the lexer cannot
+# legitimately reject it.
+atoms = st.one_of(
+    st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True),
+    st.from_regex(r"(0|[1-9][0-9]{0,5})", fullmatch=True),
+    st.from_regex(r"0x[0-9a-fA-F]{1,6}", fullmatch=True),
+    st.sampled_from(["+", "-", "*", "/", "%", "<<", ">>", "==", "!=",
+                     "<=", ">=", "&&", "||", "->", "++", "--", "(",
+                     ")", "[", "]", "{", "}", ";", ",", ".", "?", ":",
+                     "#", "##"]),
+    st.sampled_from(['"hello"', '"a b c"', "'x'", "'\\n'", '""']),
+)
+
+layouts = st.sampled_from([" ", "  ", "\t", "\n", " /* c */ ", " // x\n"])
+
+
+@st.composite
+def source_text(draw):
+    parts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        parts.append(draw(atoms))
+        parts.append(draw(layouts))
+    return "".join(parts)
+
+
+@settings(max_examples=150, deadline=None)
+@given(source_text())
+def test_layout_roundtrip(text):
+    """Rendering tokens with layout reproduces the input exactly."""
+    tokens = lex(text)
+    assert render_tokens(tokens) == text
+
+
+@settings(max_examples=150, deadline=None)
+@given(source_text())
+def test_relex_fixpoint(text):
+    """Lexing the layout-free rendering yields the same token texts."""
+    tokens = [t for t in lex(text)
+              if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+    rendered = render_tokens(tokens, with_layout=False)
+    relexed = [t for t in lex(rendered)
+               if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+    assert [t.text for t in relexed] == [t.text for t in tokens]
+    assert [t.kind for t in relexed] == [t.kind for t in tokens]
+
+
+@settings(max_examples=100, deadline=None)
+@given(source_text())
+def test_positions_monotone(text):
+    tokens = lex(text)
+    last = (0, 0)
+    for token in tokens:
+        if token.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            continue
+        position = (token.line, token.col)
+        assert position >= last
+        last = position
+
+
+@settings(max_examples=100, deadline=None)
+@given(source_text())
+def test_no_token_text_lost(text):
+    """Concatenated token texts appear in the source in order."""
+    index = 0
+    for token in lex(text):
+        if token.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            continue
+        found = text.find(token.text, index)
+        assert found >= 0
+        index = found + len(token.text)

@@ -1,0 +1,180 @@
+"""Unit tests for the conditional macro table."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpp.macro_table import (FREE, UNDEFINED, MacroDefinition,
+                                   MacroTable)
+from repro.lexer import lex
+from repro.lexer.tokens import TokenKind
+
+
+@pytest.fixture()
+def mgr():
+    return BDDManager()
+
+
+@pytest.fixture()
+def table(mgr):
+    return MacroTable(mgr)
+
+
+def definition(name, body_text="1"):
+    body = [t for t in lex(body_text)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+    return MacroDefinition(name, body)
+
+
+class TestBasicLookup:
+    def test_unknown_name_is_free(self, table, mgr):
+        entries = table.lookup("NEVER_SEEN", mgr.true)
+        assert entries == [(mgr.true, FREE)]
+
+    def test_unconditional_define(self, table, mgr):
+        d = definition("X")
+        table.define(d, mgr.true)
+        entries = table.lookup("X", mgr.true)
+        assert entries == [(mgr.true, d)]
+
+    def test_undefine_shadows_define(self, table, mgr):
+        table.define(definition("X"), mgr.true)
+        table.undefine("X", mgr.true)
+        entries = table.lookup("X", mgr.true)
+        assert len(entries) == 1
+        assert entries[0][1] is UNDEFINED
+
+    def test_redefine_shadows(self, table, mgr):
+        first = definition("X", "1")
+        second = definition("X", "2")
+        table.define(first, mgr.true)
+        table.define(second, mgr.true)
+        entries = table.lookup("X", mgr.true)
+        assert entries == [(mgr.true, second)]
+        assert table.redefinition_count == 1
+
+    def test_lookup_under_false_is_empty(self, table, mgr):
+        assert table.lookup("X", mgr.false) == []
+
+    def test_define_under_false_is_noop(self, table, mgr):
+        version = table.version
+        table.define(definition("X"), mgr.false)
+        assert table.version == version
+        assert table.lookup("X", mgr.true) == [(mgr.true, FREE)]
+
+
+class TestConditionalEntries:
+    def test_multiply_defined(self, table, mgr):
+        """Figure 2: BITS_PER_LONG defined 64 under CONFIG_64BIT else 32."""
+        c64 = mgr.var("defined:CONFIG_64BIT")
+        d64 = definition("BITS_PER_LONG", "64")
+        d32 = definition("BITS_PER_LONG", "32")
+        table.define(d64, c64)
+        table.define(d32, ~c64)
+        entries = dict(
+            (entry, cond)
+            for cond, entry in table.lookup("BITS_PER_LONG", mgr.true))
+        assert entries[d64] is c64
+        assert entries[d32] is ~c64
+
+    def test_partial_define_leaves_free_remainder(self, table, mgr):
+        a = mgr.var("A")
+        d = definition("X")
+        table.define(d, a)
+        entries = table.lookup("X", mgr.true)
+        assert (a, d) in entries
+        assert (~a, FREE) in entries
+
+    def test_lookup_narrowed_by_condition(self, table, mgr):
+        a = mgr.var("A")
+        d = definition("X")
+        table.define(d, a)
+        assert table.lookup("X", a) == [(a, d)]
+        assert table.lookup("X", ~a) == [(~a, FREE)]
+
+    def test_infeasible_entries_trimmed(self, table, mgr):
+        a = mgr.var("A")
+        table.define(definition("X", "1"), a)
+        table.define(definition("X", "2"), ~a)
+        before = table.trimmed_count
+        entries = table.lookup("X", a)
+        assert len(entries) == 1
+        assert table.trimmed_count > before
+
+    def test_later_define_shadows_overlap_only(self, table, mgr):
+        a = mgr.var("A")
+        first = definition("X", "1")
+        second = definition("X", "2")
+        table.define(first, mgr.true)
+        table.define(second, a)
+        entries = dict((entry, cond)
+                       for cond, entry in table.lookup("X", mgr.true))
+        assert entries[second] is a
+        assert entries[first] is ~a
+
+    def test_conditional_undef(self, table, mgr):
+        a = mgr.var("A")
+        d = definition("X")
+        table.define(d, mgr.true)
+        table.undefine("X", a)
+        entries = dict((repr(entry), cond)
+                       for cond, entry in table.lookup("X", mgr.true))
+        assert entries["UNDEFINED"] is a
+        assert entries[repr(d)] is ~a
+
+
+class TestVersioning:
+    def test_lookup_at_old_version(self, table, mgr):
+        first = definition("X", "1")
+        version_after_first = table.define(first, mgr.true)
+        second = definition("X", "2")
+        table.define(second, mgr.true)
+        assert table.lookup("X", mgr.true, version_after_first) == \
+            [(mgr.true, first)]
+        assert table.lookup("X", mgr.true) == [(mgr.true, second)]
+
+    def test_version_zero_sees_nothing(self, table, mgr):
+        table.define(definition("X"), mgr.true)
+        assert table.lookup("X", mgr.true, 0) == [(mgr.true, FREE)]
+
+
+class TestHelpers:
+    def test_is_free(self, table, mgr):
+        a = mgr.var("A")
+        assert table.is_free("X", mgr.true)
+        table.define(definition("X"), a)
+        assert not table.is_free("X", mgr.true)
+        assert table.is_free("X", ~a)
+
+    def test_defined_condition(self, table, mgr):
+        a = mgr.var("A")
+        table.define(definition("X"), a)
+        assert table.defined_condition("X", mgr.true) is a
+        table.undefine("X", mgr.true)
+        assert table.defined_condition("X", mgr.true).is_false()
+
+    def test_builtin(self, table, mgr):
+        table.define_builtin("__STDC__", "1")
+        ((cond, entry),) = table.lookup("__STDC__", mgr.true)
+        assert entry.is_builtin
+        assert [t.text for t in entry.body] == ["1"]
+
+    def test_known_names(self, table, mgr):
+        table.define(definition("B"), mgr.true)
+        table.define(definition("A"), mgr.true)
+        assert table.known_names() == ["A", "B"]
+
+    def test_function_like_definition(self):
+        body = [t for t in lex("x + x")
+                if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+        d = MacroDefinition("DOUBLE", body, params=["x"])
+        assert d.is_function_like
+        assert not definition("X").is_function_like
+
+    def test_same_definition(self):
+        assert definition("X", "a b").same_definition(definition("X", "a b"))
+        assert not definition("X", "a").same_definition(
+            definition("X", "b"))
+        d1 = MacroDefinition("F", [], params=["x"])
+        d2 = MacroDefinition("F", [], params=["y"])
+        assert not d1.same_definition(d2)
+        assert not d1.same_definition(definition("F", ""))

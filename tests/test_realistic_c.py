@@ -1,0 +1,401 @@
+"""Whole-program grammar coverage: realistic C sources.
+
+Each source is a small but complete, realistic C module (list, hash
+table, string utilities, tokenizer, ring buffer) exercising broad
+grammar surface in combination — the shapes real code mixes together,
+not isolated constructs.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cgrammar import c_tables, classify, make_context_factory
+from repro.lexer import lex
+from repro.lexer.tokens import TokenKind
+from repro.parser import LRParser
+from repro.superc import parse_c
+
+LINKED_LIST = """\
+typedef unsigned long size_t;
+
+struct list_node {
+    struct list_node *next;
+    struct list_node *prev;
+    void *payload;
+};
+
+struct list {
+    struct list_node head;
+    size_t length;
+};
+
+static void list_init(struct list *l)
+{
+    l->head.next = &l->head;
+    l->head.prev = &l->head;
+    l->length = 0;
+}
+
+static void list_insert(struct list_node *entry,
+                        struct list_node *before)
+{
+    entry->next = before;
+    entry->prev = before->prev;
+    before->prev->next = entry;
+    before->prev = entry;
+}
+
+static void list_push_back(struct list *l, struct list_node *entry)
+{
+    list_insert(entry, &l->head);
+    l->length++;
+}
+
+static struct list_node *list_pop_front(struct list *l)
+{
+    struct list_node *victim = l->head.next;
+    if (victim == &l->head)
+        return (void *)0;
+    victim->prev->next = victim->next;
+    victim->next->prev = victim->prev;
+    l->length--;
+    return victim;
+}
+
+static size_t list_count_if(const struct list *l,
+                            int (*pred)(const struct list_node *))
+{
+    size_t n = 0;
+    const struct list_node *it;
+    for (it = l->head.next; it != &l->head; it = it->next)
+        if (pred(it))
+            n++;
+    return n;
+}
+"""
+
+HASH_TABLE = """\
+typedef unsigned int u32;
+typedef unsigned long size_t;
+
+enum bucket_state { EMPTY, OCCUPIED, TOMBSTONE };
+
+struct bucket {
+    enum bucket_state state;
+    u32 hash;
+    const char *key;
+    void *value;
+};
+
+struct table {
+    struct bucket *buckets;
+    size_t capacity;
+    size_t used;
+};
+
+static u32 fnv1a(const char *s)
+{
+    u32 h = 2166136261u;
+    while (*s) {
+        h ^= (u32)(unsigned char)*s++;
+        h *= 16777619u;
+    }
+    return h;
+}
+
+static int str_eq(const char *a, const char *b)
+{
+    while (*a && *a == *b) {
+        a++;
+        b++;
+    }
+    return *a == *b;
+}
+
+static struct bucket *probe(struct table *t, const char *key,
+                            u32 hash)
+{
+    size_t mask = t->capacity - 1;
+    size_t i = hash & mask;
+    struct bucket *first_tombstone = (void *)0;
+    for (;;) {
+        struct bucket *b = &t->buckets[i];
+        switch (b->state) {
+        case EMPTY:
+            return first_tombstone ? first_tombstone : b;
+        case TOMBSTONE:
+            if (!first_tombstone)
+                first_tombstone = b;
+            break;
+        case OCCUPIED:
+            if (b->hash == hash && str_eq(b->key, key))
+                return b;
+            break;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+static int table_put(struct table *t, const char *key, void *value)
+{
+    u32 h = fnv1a(key);
+    struct bucket *b = probe(t, key, h);
+    int fresh = b->state != OCCUPIED;
+    if (fresh)
+        t->used++;
+    b->state = OCCUPIED;
+    b->hash = h;
+    b->key = key;
+    b->value = value;
+    return fresh;
+}
+"""
+
+STRING_UTILS = """\
+typedef unsigned long size_t;
+
+static size_t str_len(const char *s)
+{
+    const char *p = s;
+    while (*p)
+        p++;
+    return (size_t)(p - s);
+}
+
+static char *str_chr(const char *s, int c)
+{
+    do {
+        if (*s == (char)c)
+            return (char *)s;
+    } while (*s++);
+    return (void *)0;
+}
+
+static int str_to_int(const char *s, int *out)
+{
+    int sign = 1;
+    long acc = 0;
+    if (*s == '-') {
+        sign = -1;
+        s++;
+    } else if (*s == '+') {
+        s++;
+    }
+    if (*s < '0' || *s > '9')
+        return -1;
+    while (*s >= '0' && *s <= '9') {
+        acc = acc * 10 + (*s - '0');
+        if (acc > 2147483647L)
+            return -1;
+        s++;
+    }
+    *out = (int)(sign * acc);
+    return *s ? -1 : 0;
+}
+
+static void str_rev(char *s, size_t n)
+{
+    size_t i, j;
+    for (i = 0, j = n - 1; i < j; i++, j--) {
+        char tmp = s[i];
+        s[i] = s[j];
+        s[j] = tmp;
+    }
+}
+
+static const char *const month_names[12] = {
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec",
+};
+
+static int month_index(const char *name)
+{
+    int i;
+    for (i = 0; i < (int)(sizeof month_names /
+                          sizeof month_names[0]); i++) {
+        const char *a = month_names[i];
+        const char *b = name;
+        while (*a && *a == *b) {
+            a++;
+            b++;
+        }
+        if (!*a && !*b)
+            return i;
+    }
+    return -1;
+}
+"""
+
+TOKENIZER = """\
+enum token_kind {
+    TOK_EOF = 0,
+    TOK_NUMBER,
+    TOK_IDENT,
+    TOK_PUNCT,
+};
+
+struct token {
+    enum token_kind kind;
+    const char *start;
+    int length;
+    long value;
+};
+
+struct cursor {
+    const char *at;
+    int line;
+};
+
+static int is_digit(int c) { return c >= '0' && c <= '9'; }
+static int is_alpha(int c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           c == '_';
+}
+
+static void skip_space(struct cursor *cur)
+{
+    for (;;) {
+        switch (*cur->at) {
+        case '\\n':
+            cur->line++;
+            /* fallthrough */
+        case ' ':
+        case '\\t':
+            cur->at++;
+            continue;
+        default:
+            return;
+        }
+    }
+}
+
+static struct token next_token(struct cursor *cur)
+{
+    struct token t = { TOK_EOF, 0, 0, 0 };
+    skip_space(cur);
+    t.start = cur->at;
+    if (!*cur->at)
+        return t;
+    if (is_digit(*cur->at)) {
+        long v = 0;
+        while (is_digit(*cur->at)) {
+            v = v * 10 + (*cur->at - '0');
+            cur->at++;
+        }
+        t.kind = TOK_NUMBER;
+        t.value = v;
+    } else if (is_alpha(*cur->at)) {
+        while (is_alpha(*cur->at) || is_digit(*cur->at))
+            cur->at++;
+        t.kind = TOK_IDENT;
+    } else {
+        cur->at++;
+        t.kind = TOK_PUNCT;
+    }
+    t.length = (int)(cur->at - t.start);
+    return t;
+}
+
+static long sum_numbers(const char *text)
+{
+    struct cursor cur = { text, 1 };
+    long total = 0;
+    struct token t;
+    while ((t = next_token(&cur)).kind != TOK_EOF)
+        if (t.kind == TOK_NUMBER)
+            total += t.value;
+    return total;
+}
+"""
+
+RING_BUFFER = """\
+typedef unsigned int u32;
+
+#define RING_SIZE 64
+
+struct ring {
+    u32 data[RING_SIZE];
+    u32 head;
+    u32 tail;
+};
+
+static inline u32 ring_mask(u32 v) { return v & (RING_SIZE - 1); }
+
+static inline int ring_empty(const struct ring *r)
+{
+    return r->head == r->tail;
+}
+
+static inline int ring_full(const struct ring *r)
+{
+    return ring_mask(r->head + 1) == ring_mask(r->tail);
+}
+
+static int ring_push(struct ring *r, u32 value)
+{
+    if (ring_full(r))
+        return -1;
+    r->data[ring_mask(r->head)] = value;
+    r->head = ring_mask(r->head + 1);
+    return 0;
+}
+
+static int ring_pop(struct ring *r, u32 *out)
+{
+    if (ring_empty(r))
+        return -1;
+    *out = r->data[ring_mask(r->tail)];
+    r->tail = ring_mask(r->tail + 1);
+    return 0;
+}
+
+static u32 ring_drain(struct ring *r)
+{
+    u32 value, acc = 0;
+    while (ring_pop(r, &value) == 0)
+        acc ^= value;
+    return acc;
+}
+"""
+
+PROGRAMS = {
+    "linked_list": LINKED_LIST,
+    "hash_table": HASH_TABLE,
+    "string_utils": STRING_UTILS,
+    "tokenizer": TOKENIZER,
+    "ring_buffer": RING_BUFFER,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_whole_program_parses(name):
+    result = parse_c(PROGRAMS[name])
+    assert result.ok, [str(f) for f in result.failures][:3]
+    # Nothing variable here: a single accepted configuration.
+    assert len(result.parse.accepted) == 1
+    assert result.parse.stats.max_subparsers == 1
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_whole_program_plain_lr(name):
+    from tests.support import simple_preprocess
+
+    manager = BDDManager()
+    parser = LRParser(c_tables(), classify,
+                      context_factory=make_context_factory(manager),
+                      condition=manager.true)
+    tokens = [t for t in simple_preprocess(PROGRAMS[name])
+              if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+    assert parser.parse(tokens) is not None
+
+
+def test_programs_with_variability_wrapper():
+    """The same realistic modules still parse when spliced into one
+    unit under different configurations."""
+    source = ("#ifdef CONFIG_LISTS\n" + LINKED_LIST + "\n#endif\n" +
+              "#ifdef CONFIG_RING\n" + RING_BUFFER + "\n#endif\n" +
+              "int anchor;\n")
+    result = parse_c(source)
+    assert result.ok, [str(f) for f in result.failures][:3]
+    assert result.parse.stats.max_subparsers <= 4

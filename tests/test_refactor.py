@@ -1,0 +1,128 @@
+"""Tests for the variability-aware rename library."""
+
+import pytest
+
+from repro.analysis import (RenameConflict, apply_edits, occurrences,
+                            plan_rename, rename_in_files)
+from repro.superc import parse_c
+from tests.support import simple_preprocess, texts
+
+SOURCE = """\
+#ifdef CONFIG_ACCEL
+static int read_input(int ch) { return accel_read(ch); }
+#else
+static int read_input(int ch) { return poll_read(ch); }
+#endif
+
+int sample(void)
+{
+    return read_input(0) + read_input(1);
+}
+"""
+
+
+class TestOccurrences:
+    def test_all_configurations_found(self):
+        result = parse_c(SOURCE)
+        found = occurrences(result.ast, "read_input")
+        # Two definitions (one per branch) + two uses.
+        assert len(found) == 4
+        lines = sorted(t.line for t in found)
+        assert lines == [2, 4, 9, 9]
+
+    def test_shared_tokens_not_duplicated(self):
+        # A token parsed in several configurations appears once.
+        result = parse_c("#ifdef A\nint x;\n#endif\nint shared;\n")
+        found = occurrences(result.ast, "shared")
+        assert len(found) == 1
+
+    def test_no_match(self):
+        result = parse_c("int x;\n")
+        assert occurrences(result.ast, "nope") == []
+
+
+class TestPlan:
+    def test_plan_rename(self):
+        result = parse_c(SOURCE)
+        plan = plan_rename(result.ast, "read_input", "acquire")
+        assert len(plan) == 4
+        assert plan.files == ["<input>"]
+
+    def test_conflict_detected(self):
+        result = parse_c(SOURCE)
+        with pytest.raises(RenameConflict):
+            plan_rename(result.ast, "read_input", "sample")
+
+    def test_conflict_in_disabled_branch_detected(self):
+        # The conflicting name exists only in a disabled branch:
+        # single-configuration tools would miss it.
+        source = ("#ifdef A\nint target;\n#endif\nint original;\n")
+        result = parse_c(source)
+        with pytest.raises(RenameConflict):
+            plan_rename(result.ast, "original", "target")
+
+    def test_allow_conflicts(self):
+        result = parse_c(SOURCE)
+        plan = plan_rename(result.ast, "read_input", "sample",
+                           allow_conflicts=True)
+        assert len(plan) == 4
+
+    def test_invalid_identifier_rejected(self):
+        result = parse_c(SOURCE)
+        with pytest.raises(ValueError):
+            plan_rename(result.ast, "read_input", "1bad")
+        with pytest.raises(ValueError):
+            plan_rename(result.ast, "read_input", "")
+
+
+class TestApply:
+    def test_roundtrip(self):
+        result = parse_c(SOURCE)
+        plan = plan_rename(result.ast, "read_input", "acquire")
+        renamed = apply_edits(SOURCE, plan.edits)
+        assert "read_input" not in renamed
+        assert renamed.count("acquire") == 4
+        # The renamed source still parses in every configuration.
+        check = parse_c(renamed)
+        assert check.ok
+
+    def test_semantics_preserved_per_configuration(self):
+        result = parse_c(SOURCE)
+        plan = plan_rename(result.ast, "read_input", "acquire")
+        renamed = apply_edits(SOURCE, plan.edits)
+        for config in ({}, {"CONFIG_ACCEL": "1"}):
+            before = texts(simple_preprocess(SOURCE, config))
+            after = texts(simple_preprocess(renamed, config))
+            assert [t for t in after if t != "acquire"] == \
+                [t for t in before if t != "read_input"]
+
+    def test_position_drift_detected(self):
+        result = parse_c(SOURCE)
+        plan = plan_rename(result.ast, "read_input", "acquire")
+        with pytest.raises(ValueError):
+            apply_edits("completely different text\n", plan.edits)
+
+    def test_rename_in_files(self):
+        result = parse_c(SOURCE)
+        plan = plan_rename(result.ast, "read_input", "acquire")
+        changed = rename_in_files(plan, {"<input>": SOURCE,
+                                         "other.c": "int y;\n"})
+        assert set(changed) == {"<input>"}
+        assert "acquire" in changed["<input>"]
+
+    def test_rename_across_header(self):
+        files = {"include/dev.h":
+                 "#ifdef CONFIG_X\nint dev_reset(void);\n#endif\n"}
+        source = ("#include <dev.h>\n"
+                  "int run(void) {\n"
+                  "#ifdef CONFIG_X\n"
+                  "  return dev_reset();\n"
+                  "#endif\n"
+                  "  return 0;\n"
+                  "}\n")
+        result = parse_c(source, files=files)
+        plan = plan_rename(result.ast, "dev_reset", "dev_restart")
+        assert sorted(plan.files) == ["<input>", "include/dev.h"]
+        changed = rename_in_files(plan, {"<input>": source, **files})
+        assert "dev_restart" in changed["include/dev.h"]
+        assert "dev_restart" in changed["<input>"]

@@ -1,0 +1,100 @@
+"""Unit tests for the single-configuration oracle preprocessor."""
+
+import pytest
+
+from repro.cpp import PreprocessorError
+from tests.support import simple_preprocess, texts
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        tokens = simple_preprocess("#ifdef A\nx\n#endif",
+                                   defines={"A": "1"})
+        assert texts(tokens) == ["x"]
+
+    def test_ifdef_skipped(self):
+        assert texts(simple_preprocess("#ifdef A\nx\n#endif")) == []
+
+    def test_else(self):
+        assert texts(simple_preprocess(
+            "#ifdef A\nx\n#else\ny\n#endif")) == ["y"]
+
+    def test_elif(self):
+        source = "#if defined(A)\na\n#elif defined(B)\nb\n#else\nc\n#endif"
+        assert texts(simple_preprocess(source, {"B": "1"})) == ["b"]
+        assert texts(simple_preprocess(source, {"A": "1", "B": "1"})) \
+            == ["a"]
+        assert texts(simple_preprocess(source)) == ["c"]
+
+    def test_nested_skipping(self):
+        source = ("#ifdef A\n#ifdef B\nx\n#endif\ny\n#endif")
+        assert texts(simple_preprocess(source, {"A": "1"})) == ["y"]
+        assert texts(simple_preprocess(source, {"B": "1"})) == []
+
+    def test_skipped_branch_directives_inert(self):
+        source = ("#ifdef A\n#define X 1\n#endif\nX")
+        assert texts(simple_preprocess(source)) == ["X"]
+
+    def test_if_arithmetic(self):
+        assert texts(simple_preprocess("#if 3 > 2\nx\n#endif")) == ["x"]
+
+    def test_undefined_identifier_is_zero(self):
+        assert texts(simple_preprocess("#if FOO\nx\n#endif")) == []
+
+    def test_config_value_used(self):
+        source = "#if N == 8\neight\n#endif"
+        assert texts(simple_preprocess(source, {"N": "8"})) == ["eight"]
+
+
+class TestMacros:
+    def test_define_and_expand(self):
+        assert texts(simple_preprocess("#define X 5\nX")) == ["5"]
+
+    def test_function_like(self):
+        assert texts(simple_preprocess(
+            "#define SQ(x) ((x)*(x))\nSQ(2)")) == list("((2)*(2))")
+
+    def test_redefinition_order(self):
+        assert texts(simple_preprocess(
+            "#define A 1\nA\n#define A 2\nA")) == ["1", "2"]
+
+    def test_paste_and_stringify(self):
+        source = "#define CAT(a,b) a##b\n#define S(x) #x\nCAT(1,2) S(hi)"
+        assert texts(simple_preprocess(source)) == ["12", '"hi"']
+
+    def test_config_variables_do_not_expand_in_text(self):
+        # Config variables are free macros: they drive #if but stay
+        # identifiers in program text (SuperC's model).
+        assert texts(simple_preprocess("VALUE", {"VALUE": "99"})) \
+            == ["VALUE"]
+
+    def test_invocation_across_lines(self):
+        assert texts(simple_preprocess(
+            "#define F(a,b) a-b\nF(1,\n2)")) == ["1", "-", "2"]
+
+
+class TestIncludesAndErrors:
+    def test_include(self):
+        files = {"include/h.h": "h_body\n"}
+        assert texts(simple_preprocess(
+            "#include <h.h>\nmain", files=files)) == ["h_body", "main"]
+
+    def test_guard_via_real_semantics(self):
+        files = {"include/g.h":
+                 "#ifndef G_H\n#define G_H\nonce\n#endif\n"}
+        tokens = simple_preprocess(
+            "#include <g.h>\n#include <g.h>\n", files=files)
+        assert texts(tokens) == ["once"]
+
+    def test_error_in_active_branch_raises(self):
+        with pytest.raises(PreprocessorError):
+            simple_preprocess("#ifdef A\n#error bad\n#endif", {"A": "1"})
+
+    def test_error_in_skipped_branch_ignored(self):
+        assert texts(simple_preprocess(
+            "#ifdef A\n#error bad\n#endif\nok")) == ["ok"]
+
+    def test_computed_include(self):
+        files = {"include/x.h": "xx\n"}
+        source = "#define H <x.h>\n#include H\n"
+        assert texts(simple_preprocess(source, files=files)) == ["xx"]

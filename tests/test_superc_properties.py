@@ -1,0 +1,125 @@
+"""Property-based end-to-end tests: random conditional C sources.
+
+For arbitrary nestings of conditionals around C fragments, the FMLR
+AST projected onto any configuration must match the plain-LR parse of
+the equivalently projected token stream (and both pipelines must agree
+on which configurations are well-formed).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpp import project as project_tree
+from repro.parser.ast import project as ast_project
+from repro.superc import parse_c
+from tests.support import assignment_for, ast_signature
+from tests.test_superc import plain_parse
+
+VARS = ["A", "B", "C"]
+
+# C fragments that are valid external declarations/definitions.
+DECLS = [
+    "int {n};",
+    "static long {n} = 4;",
+    "char {n}[8];",
+    "int {n}(void) {{ return 1; }}",
+    "struct s{n} {{ int f; }};",
+    "typedef unsigned {n}_t;",
+]
+
+# Statement fragments for inside a function body.
+STMTS = [
+    "x = x + 1;",
+    "if (x) x = 0;",
+    "while (x > 4) x--;",
+    "return x;",
+    "{{ int t = x; x = t; }}",
+    ";",
+]
+
+
+@st.composite
+def conditional_source(draw):
+    counter = itertools.count()
+    lines = []
+
+    def emit_block(depth, in_function):
+        n = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(n):
+            kind = draw(st.integers(min_value=0, max_value=3))
+            if kind == 0 and depth < 2:
+                var = draw(st.sampled_from(VARS))
+                form = draw(st.sampled_from(
+                    ["#ifdef {v}", "#ifndef {v}",
+                     "#if defined({v}) && !defined({w})"]))
+                other = draw(st.sampled_from(VARS))
+                lines.append(form.format(v=var, w=other))
+                emit_block(depth + 1, in_function)
+                if draw(st.booleans()):
+                    lines.append("#else")
+                    emit_block(depth + 1, in_function)
+                lines.append("#endif")
+            else:
+                name = f"g{next(counter)}"
+                pool = STMTS if in_function else DECLS
+                lines.append(draw(st.sampled_from(pool))
+                             .format(n=name))
+
+    emit_block(0, in_function=False)
+    # Wrap a second conditional region inside a function.
+    lines.append("int body(int x)")
+    lines.append("{")
+    emit_block(0, in_function=True)
+    lines.append("return x;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def all_configs():
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        yield {name: "1" for name, bit in zip(VARS, bits) if bit}
+
+
+@settings(max_examples=40, deadline=None)
+@given(conditional_source())
+def test_projection_equivalence(source):
+    result = parse_c(source)
+    unit = result.unit
+    for config in all_configs():
+        assignment = assignment_for(unit, config)
+        tokens = project_tree(unit.tree, assignment)
+        accepted = [cond for cond, _v in result.parse.accepted
+                    if cond.evaluate(assignment)]
+        failed = [f for f in result.failures
+                  if f.condition.evaluate(assignment)]
+        try:
+            expected = plain_parse(tokens)
+        except Exception:
+            # Plain LR rejects this configuration: FMLR must have
+            # recorded a failure (not an accept) for it.
+            assert failed or not accepted
+            continue
+        assert len(accepted) == 1, (config, source)
+        actual = ast_project(result.ast, assignment)
+        assert ast_signature(actual) == ast_signature(expected), \
+            (config, source)
+
+
+@settings(max_examples=20, deadline=None)
+@given(conditional_source())
+def test_subparser_partition_invariant(source):
+    """Accepted conditions are pairwise disjoint and, with failures,
+    cover the whole feasible space."""
+    result = parse_c(source)
+    manager = result.unit.manager
+    conditions = [cond for cond, _v in result.parse.accepted]
+    conditions += [f.condition for f in result.failures]
+    union = manager.false
+    for i, cond in enumerate(conditions):
+        for other in conditions[i + 1:]:
+            assert (cond & other).is_false()
+        union = union | cond
+    feasible = result.unit.feasible_condition
+    assert (feasible & ~union).is_false()

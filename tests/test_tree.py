@@ -1,0 +1,103 @@
+"""Unit tests for token-tree utilities."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpp.tree import (Conditional, count_conditionals, is_flat,
+                            iter_tokens, map_conditions, max_depth,
+                            project, render, token_count)
+from repro.lexer import lex
+from repro.lexer.tokens import TokenKind
+
+
+@pytest.fixture()
+def mgr():
+    return BDDManager()
+
+
+def toks(text):
+    return [t for t in lex(text)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def sample_tree(mgr):
+    a, b = mgr.var("A"), mgr.var("B")
+    inner = Conditional([(b, toks("deep"))])
+    return [
+        *toks("head"),
+        Conditional([(a, [*toks("x"), inner]), (~a, toks("y"))]),
+        *toks("tail"),
+    ]
+
+
+class TestQueries:
+    def test_iter_tokens_all_branches(self, mgr):
+        texts = [t.text for t in iter_tokens(sample_tree(mgr))]
+        assert texts == ["head", "x", "deep", "y", "tail"]
+
+    def test_token_count(self, mgr):
+        assert token_count(sample_tree(mgr)) == 5
+
+    def test_count_conditionals(self, mgr):
+        assert count_conditionals(sample_tree(mgr)) == 2
+
+    def test_max_depth(self, mgr):
+        assert max_depth(sample_tree(mgr)) == 2
+        assert max_depth(toks("a b")) == 0
+
+    def test_is_flat(self, mgr):
+        assert is_flat(toks("a b c"))
+        assert not is_flat(sample_tree(mgr))
+
+
+class TestProject:
+    def test_project_configurations(self, mgr):
+        tree = sample_tree(mgr)
+        assert [t.text for t in project(tree, {"A": True, "B": True})] \
+            == ["head", "x", "deep", "tail"]
+        assert [t.text for t in project(tree, {"A": True})] == \
+            ["head", "x", "tail"]
+        assert [t.text for t in project(tree, {})] == \
+            ["head", "y", "tail"]
+
+
+class TestMapConditions:
+    def test_identity_map(self, mgr):
+        tree = sample_tree(mgr)
+        mapped = map_conditions(tree, lambda c: c)
+        assert [t.text for t in iter_tokens(mapped)] == \
+            [t.text for t in iter_tokens(tree)]
+
+    def test_swap_algebra(self, mgr):
+        from repro.baselines import FormulaManager
+        fm = FormulaManager()
+
+        def translate(bdd):
+            # Rebuild in the formula algebra from satisfying cubes.
+            result = fm.false
+            for cube in bdd.all_sat():
+                term = fm.true
+                for name, value in cube.items():
+                    var = fm.var(name)
+                    term = term & (var if value else ~var)
+                result = result | term
+            return result
+
+        mapped = map_conditions(sample_tree(mgr), translate)
+        conditional = next(i for i in mapped
+                           if isinstance(i, Conditional))
+        condition = conditional.branches[0][0]
+        assert condition.evaluate({"A": True})
+        assert not condition.evaluate({})
+
+
+class TestRender:
+    def test_render_flat(self, mgr):
+        assert render(toks("a b ;")) == "a b ;"
+
+    def test_render_conditional(self, mgr):
+        text = render(sample_tree(mgr))
+        assert "#[A]" in text
+        assert "#[!A]" in text
+        assert "#[end]" in text
+        assert "deep" in text

@@ -1,0 +1,148 @@
+"""Tests for the variability-aware undeclared-identifier analysis."""
+
+import pytest
+
+from repro.analysis.undeclared import find_undeclared
+from repro.cpp.conditions import defined_var
+from repro.superc import parse_c
+
+
+def analyze(source, externals=()):
+    result = parse_c(source)
+    assert result.ok, [str(f) for f in result.failures][:3]
+    return result, find_undeclared(result.ast, result.unit.manager,
+                                   externals=externals)
+
+
+def by_name(findings):
+    return {f.name: f for f in findings}
+
+
+class TestBasics:
+    def test_clean_unit(self):
+        _r, findings = analyze(
+            "int x;\nint f(int a) { return x + a; }\n")
+        assert findings == []
+
+    def test_undeclared_object(self):
+        _r, findings = analyze("int f(void) { return mystery; }\n")
+        found = by_name(findings)
+        assert "mystery" in found
+        assert found["mystery"].kind == "object"
+        assert found["mystery"].condition.is_true()
+
+    def test_implicit_function(self):
+        _r, findings = analyze("int f(void) { return helper(1); }\n")
+        found = by_name(findings)
+        assert found["helper"].kind == "implicit-function"
+
+    def test_declared_function_not_reported(self):
+        _r, findings = analyze(
+            "int helper(int);\nint f(void) { return helper(1); }\n")
+        assert findings == []
+
+    def test_externals_suppress(self):
+        _r, findings = analyze(
+            "int f(void) { return printf; }\n",
+            externals=("printf",))
+        assert findings == []
+
+    def test_block_scoping(self):
+        _r, findings = analyze(
+            "int f(void) { { int inner = 1; } return inner; }\n")
+        assert "inner" in by_name(findings)
+
+    def test_use_before_declaration(self):
+        _r, findings = analyze(
+            "int f(void) { int a = b; int b = 2; return a + b; }\n")
+        assert "b" in by_name(findings)
+
+    def test_enum_constants_declared(self):
+        _r, findings = analyze(
+            "enum color { RED, GREEN };\n"
+            "int f(void) { return RED + GREEN; }\n")
+        assert findings == []
+
+    def test_parameters_declared(self):
+        _r, findings = analyze(
+            "int add(int left, int right) { return left + right; }\n")
+        assert findings == []
+
+    def test_member_names_not_uses(self):
+        _r, findings = analyze(
+            "struct p { int x; };\n"
+            "int f(struct p *q) { return q->x; }\n")
+        assert findings == []
+
+    def test_for_loop_declaration(self):
+        _r, findings = analyze(
+            "int f(void) { int s = 0; "
+            "for (int i = 0; i < 4; i++) s += i; return s; }\n")
+        assert findings == []
+
+
+class TestVariability:
+    def test_conditional_declaration_unconditional_use(self):
+        """The flagship bug class: declared only under CONFIG_A, used
+        everywhere."""
+        source = ("#ifdef CONFIG_A\nint gadget;\n#endif\n"
+                  "int f(void) { return gadget; }\n")
+        _r, findings = analyze(source)
+        found = by_name(findings)
+        assert "gadget" in found
+        condition = found["gadget"].condition
+        # Undeclared exactly when CONFIG_A is off.
+        assert condition.evaluate({}) is True
+        assert condition.evaluate(
+            {defined_var("CONFIG_A"): True}) is False
+
+    def test_matching_conditions_clean(self):
+        source = ("#ifdef CONFIG_A\nint gadget;\n#endif\n"
+                  "int f(void) {\n#ifdef CONFIG_A\n  return gadget;\n"
+                  "#endif\n  return 0;\n}\n")
+        _r, findings = analyze(source)
+        assert findings == []
+
+    def test_declarations_in_both_branches_clean(self):
+        source = ("#ifdef CONFIG_A\nstatic int impl;\n#else\n"
+                  "static int impl;\n#endif\n"
+                  "int f(void) { return impl; }\n")
+        _r, findings = analyze(source)
+        assert findings == []
+
+    def test_partial_overlap(self):
+        source = ("#ifdef A\nint v;\n#endif\n"
+                  "int f(void) {\n#ifdef B\n  return v;\n#endif\n"
+                  "  return 0;\n}\n")
+        _r, findings = analyze(source)
+        found = by_name(findings)
+        assert "v" in found
+        condition = found["v"].condition
+        # Broken exactly when B && !A.
+        assert condition.evaluate({defined_var("B"): True}) is True
+        assert condition.evaluate({defined_var("B"): True,
+                                   defined_var("A"): True}) is False
+        assert condition.evaluate({}) is False
+
+    def test_conditional_function_definition(self):
+        source = ("#ifdef FAST\nstatic int path(void) { return 1; }\n"
+                  "#endif\n"
+                  "int run(void) { return path(); }\n")
+        _r, findings = analyze(source)
+        found = by_name(findings)
+        assert found["path"].kind == "implicit-function"
+        assert found["path"].condition.evaluate({}) is True
+        assert found["path"].condition.evaluate(
+            {defined_var("FAST"): True}) is False
+
+    def test_conditional_use_of_conditional_enum(self):
+        source = ("#ifdef A\nenum m { M_ON };\n#endif\n"
+                  "int f(void) {\n#ifdef A\n  return M_ON;\n#endif\n"
+                  "  return 0;\n}\n")
+        _r, findings = analyze(source)
+        assert findings == []
+
+    def test_statement_expression_scanned(self):
+        source = ("int f(void) { return ({ int t = ghost; t; }); }\n")
+        _r, findings = analyze(source)
+        assert "ghost" in by_name(findings)

@@ -1,0 +1,190 @@
+"""Tests for the configuration-preserving unparser.
+
+The key property: unparse → reparse round-trips to a
+projection-equivalent AST for every configuration.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpp.conditions import defined_var, expr_var, value_var
+from repro.parser.ast import project as ast_project
+from repro.superc import parse_c
+from repro.unparse import condition_to_expr, unparse, variable_to_expr
+from tests.support import assignment_for, ast_signature
+
+
+class TestConditionRendering:
+    @pytest.fixture()
+    def mgr(self):
+        return BDDManager()
+
+    def test_terminals(self, mgr):
+        assert condition_to_expr(mgr.true) == "1"
+        assert condition_to_expr(mgr.false) == "0"
+
+    def test_defined_variable(self, mgr):
+        condition = mgr.var(defined_var("CONFIG_X"))
+        assert condition_to_expr(condition) == "defined(CONFIG_X)"
+
+    def test_negated(self, mgr):
+        condition = ~mgr.var(defined_var("A"))
+        assert condition_to_expr(condition) == "!defined(A)"
+
+    def test_value_variable(self, mgr):
+        assert variable_to_expr(value_var("NR")) == "NR"
+
+    def test_expr_variable(self, mgr):
+        assert variable_to_expr(expr_var("NR_CPUS<256")) == \
+            "(NR_CPUS<256)"
+
+    def test_conjunction(self, mgr):
+        condition = mgr.var(defined_var("A")) & ~mgr.var(defined_var("B"))
+        assert condition_to_expr(condition) == \
+            "defined(A) && !defined(B)"
+
+    def test_disjunction_renders_cubes(self, mgr):
+        a, b = mgr.var(defined_var("A")), mgr.var(defined_var("B"))
+        text = condition_to_expr(a | b)
+        assert "||" in text
+        assert "defined(A)" in text and "defined(B)" in text
+
+    def test_roundtrip_through_preprocessor(self, mgr):
+        """Rendered conditions mean the same thing when re-evaluated."""
+        a, b = mgr.var(defined_var("A")), mgr.var(defined_var("B"))
+        condition = (a & ~b) | (~a & b)
+        text = condition_to_expr(condition)
+        source = f"#if {text}\nint marker;\n#endif\n"
+        result = parse_c(source)
+        assert result.ok
+        for config in ({}, {"A": "1"}, {"B": "1"}, {"A": "1", "B": "1"}):
+            assignment = assignment_for(result.unit, config)
+            original = condition.evaluate(
+                {defined_var(n): (n in config) for n in "AB"})
+            projected = ast_project(result.ast, assignment)
+            has_marker = "marker" in str(ast_signature(projected))
+            assert has_marker == original, config
+
+
+SOURCES = [
+    "int x;\nint y;\n",
+    "#ifdef A\nint a;\n#endif\nint tail;\n",
+    "#ifdef A\nint a;\n#else\nint b;\n#endif\n",
+    ("#ifdef A\nint a;\n#elif defined(B)\nint b;\n#else\nint c;\n"
+     "#endif\n"),
+    ("struct dev {\n  int id;\n#ifdef CONFIG_DEBUG\n  char *label;\n"
+     "#endif\n};\n"),
+    ("int f(void)\n{\n#ifdef FAST\n  return 1;\n#else\n  return 2;\n"
+     "#endif\n}\n"),
+    ("#ifdef A\n#define N 8\n#else\n#define N 2\n#endif\n"
+     "int width = N;\n"),
+    ("#ifdef OUTER\nint o;\n#ifdef INNER\nint i;\n#endif\n#endif\n"
+     "int shared;\n"),
+]
+
+VARS = ["A", "B", "CONFIG_DEBUG", "FAST", "OUTER", "INNER"]
+
+
+def configs():
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        yield {name: "1" for name, bit in zip(VARS, bits) if bit}
+
+
+@pytest.mark.parametrize("source", SOURCES, ids=range(len(SOURCES)))
+def test_unparse_reparse_roundtrip(source):
+    original = parse_c(source)
+    assert original.ok
+    text = unparse(original.ast)
+    reparsed = parse_c(text)
+    assert reparsed.ok, (text, [str(f) for f in reparsed.failures][:2])
+    sampled = itertools.islice(configs(), 0, 64, 7)
+    for config in sampled:
+        before = ast_project(original.ast,
+                             assignment_for(original.unit, config))
+        after = ast_project(reparsed.ast,
+                            assignment_for(reparsed.unit, config))
+        assert ast_signature(before) == ast_signature(after), \
+            (config, text)
+
+
+def test_unparse_corpus_driver_roundtrip():
+    """Torture test: unparse a full synthetic-kernel driver (hundreds
+    of constructs, nested conditionals) and reparse it."""
+    import random
+
+    from repro.corpus import KernelSpec, generate_kernel
+    from repro.superc import SuperC
+
+    corpus = generate_kernel(KernelSpec(subsystems=1,
+                                        drivers_per_subsystem=1,
+                                        figure6_entries=4))
+    superc = SuperC(corpus.filesystem(),
+                    include_paths=corpus.include_paths)
+    original = superc.parse_file(corpus.units[0])
+    assert original.ok
+    text = unparse(original.ast,
+                   error_conditions=original.unit.error_conditions)
+    reparsed = parse_c(text)
+    assert reparsed.ok, (text[:400],
+                         [str(f) for f in reparsed.failures][:2])
+    rng = random.Random(3)
+    for _ in range(4):
+        config = {name: "1" for name in corpus.config_variables
+                  if rng.random() < 0.4}
+        before_assign = assignment_for(original.unit, config)
+        if not original.unit.feasible_condition.evaluate(before_assign):
+            continue
+        before = ast_project(original.ast, before_assign)
+        after = ast_project(reparsed.ast,
+                            assignment_for(reparsed.unit, config))
+        assert ast_signature(before) == ast_signature(after), config
+
+
+def test_unparse_emits_directives():
+    result = parse_c("#ifdef A\nint a;\n#else\nint b;\n#endif\n")
+    text = unparse(result.ast)
+    assert "#if defined(A)" in text
+    assert "#else" in text
+    assert "#endif" in text
+
+
+def test_unparse_plain_code_has_no_directives():
+    result = parse_c("int x; int f(void) { return x; }\n")
+    text = unparse(result.ast)
+    assert "#if" not in text
+    assert "int x;" in text
+
+
+def test_unparse_after_structural_edit():
+    """The unparser writes out ASTs whose token positions no longer
+    match any source (the refactoring case position-patching cannot
+    handle)."""
+    from repro.parser.ast import Node, StaticChoice
+
+    result = parse_c("#ifdef A\nint a;\n#endif\nint tail;\n")
+
+    def drop_tail(value):
+        if isinstance(value, tuple):
+            return tuple(drop_tail(v) for v in value
+                         if not (isinstance(v, Node)
+                                 and v.name == "Declaration"
+                                 and any(getattr(t, "text", "") == "tail"
+                                         for t in _tokens(v))))
+        if isinstance(value, Node):
+            return Node(value.name, drop_tail(value.children))
+        if isinstance(value, StaticChoice):
+            return StaticChoice(tuple(
+                (c, drop_tail(b)) for c, b in value.branches))
+        return value
+
+    def _tokens(node):
+        from repro.parser.ast import iter_tokens
+        return list(iter_tokens(node))
+
+    edited = drop_tail(result.ast)
+    text = unparse(edited)
+    assert "tail" not in text
+    reparsed = parse_c(text)
+    assert reparsed.ok
