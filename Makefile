@@ -1,0 +1,26 @@
+# Developer/CI entry points.  PYTHONPATH=src keeps everything runnable
+# without installation.
+PY := PYTHONPATH=src python
+
+.PHONY: test smoke-batch bench clean-cache
+
+# Tier 1: the full unit-test suite (must stay green).
+test:
+	$(PY) -m pytest -x -q
+
+# Tier 2: batch-engine smoke — generate the synthetic kernel corpus,
+# fan it out over 2 workers with a deadline and retries, and require
+# every unit to parse.  Catches engine/scheduler regressions in
+# seconds without running the full benchmarks.
+smoke-batch:
+	$(PY) -m repro.tools.batch_cli --generate --seed 42 \
+	    --workers 2 --timeout 60 --retries 1 --no-result-cache \
+	    --metrics -
+
+# Full benchmark suite (Tables 2-3, Figures 8-10, scaling + speedup).
+bench:
+	$(PY) -m pytest benchmarks -q
+
+# Persistent caches (grammar tables, batch results) are derived data.
+clean-cache:
+	rm -rf $${REPRO_CACHE_DIR:-$$HOME/.cache/repro-superc}

@@ -4,13 +4,23 @@ Figure 10's claim is that SuperC's latency scales roughly linearly
 with compilation-unit size.  This bench sweeps the corpus generator's
 scale knob and reports total latency per scale, so the growth curve is
 visible directly (an extension of the paper's single-scatter plot).
+
+A second bench drives the same corpus through ``repro.engine``'s
+worker pool and reports the serial-vs-parallel speedup — the paper's
+7,665-unit kernel run is embarrassingly parallel across compilation
+units, and this measures how much of that the batch engine recovers.
 """
+
+import os
 
 from benchmarks.conftest import emit
 from repro.corpus import KernelSpec, generate_kernel
+from repro.engine import BatchEngine, CorpusJob, EngineConfig
 from repro.eval import measure_superc, unit_size_bytes
 
 SCALES = [1, 2, 3]
+
+WORKER_COUNTS = [1, 2, 4]
 
 
 def test_scaling_linearity(benchmark):
@@ -52,3 +62,48 @@ def test_scaling_linearity(benchmark):
     last = rows[-1][3] / rows[-1][2]
     assert last < 8 * first
     assert first < 8 * last
+
+
+def test_parallel_speedup(benchmark, tmp_path):
+    """Serial vs worker-pool wall time through ``repro.engine``."""
+    corpus = generate_kernel(KernelSpec(seed=99, subsystems=4,
+                                        drivers_per_subsystem=4,
+                                        figure6_entries=6))
+    job = CorpusJob.from_corpus(corpus)
+    holder = {}
+
+    def run():
+        rows = []
+        baseline = None
+        for workers in WORKER_COUNTS:
+            config = EngineConfig(workers=workers,
+                                  use_result_cache=False,
+                                  cache_dir=str(tmp_path / "cache"))
+            report = BatchEngine(config).run(job)
+            assert report.all_ok, report.by_status
+            if baseline is None:
+                baseline = report
+            else:
+                # Parallelism must not change any outcome.
+                assert report.statuses() == baseline.statuses()
+                assert report.subparser_rollup() == \
+                    baseline.subparser_rollup()
+            rows.append((workers, report.wall_seconds,
+                         report.cpu_seconds))
+        holder["rows"] = rows
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = holder["rows"]
+    serial_wall = rows[0][1]
+
+    lines = ["", "=" * 58,
+             f"Batch engine speedup ({len(job.units)} units, "
+             f"{os.cpu_count()} cpus)",
+             f"{'workers':>8}{'wall s':>9}{'cpu s':>9}{'speedup':>9}"]
+    for workers, wall, cpu in rows:
+        lines.append(f"{workers:>8}{wall:>9.2f}{cpu:>9.2f}"
+                     f"{serial_wall / wall:>8.2f}x")
+    lines.append("=" * 58)
+    emit(lines)
+    benchmark.extra_info["rows"] = rows

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 from typing import Optional
 
 from repro.cgrammar.classify import (CONSTANT, IDENTIFIER, STRING,
@@ -13,15 +12,24 @@ from repro.cgrammar.grammar_def import (C_KEYWORDS, GNU_ALIASES,
                                         build_c_grammar)
 from repro.cgrammar.typedefs import (CContext, SymbolStats,
                                      make_context_factory)
-from repro.parser.lalr import Tables, generate
+from repro.parser.lalr import (TABLE_BLOB_VERSION, TableBlobError,
+                               Tables, from_blob, generate, to_blob)
 
 _TABLES: Optional[Tables] = None
 
 
-def _cache_path(key: str) -> str:
-    root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+def cache_root() -> str:
+    """Directory for persistent caches (grammar tables, batch results).
+
+    ``REPRO_CACHE_DIR`` overrides the default ``~/.cache/repro-superc``;
+    everything inside is derived data and safe to delete."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
         os.path.expanduser("~"), ".cache", "repro-superc")
-    return os.path.join(root, f"ctables-{key}.pickle")
+
+
+def _cache_path(key: str) -> str:
+    return os.path.join(cache_root(),
+                        f"ctables-{key}-v{TABLE_BLOB_VERSION}.tables")
 
 
 def _grammar_key(grammar) -> str:
@@ -34,9 +42,21 @@ def _grammar_key(grammar) -> str:
     return digest.hexdigest()[:16]
 
 
+def c_tables_key() -> str:
+    """Content hash of the C grammar (the table cache key)."""
+    return _grammar_key(build_c_grammar())
+
+
+def c_tables_cache_path() -> str:
+    """Where the C grammar's table blob lives on disk."""
+    return _cache_path(c_tables_key())
+
+
 def c_tables(use_cache: bool = True) -> Tables:
     """LALR tables for the C grammar (generated once per process and
-    cached on disk across processes)."""
+    cached on disk — versioned blobs, see ``repro.parser.lalr`` — so
+    other processes, e.g. ``repro.engine`` workers, deserialize instead
+    of regenerating)."""
     global _TABLES
     if _TABLES is not None:
         return _TABLES
@@ -46,16 +66,18 @@ def c_tables(use_cache: bool = True) -> Tables:
     if use_cache and os.path.exists(path):
         try:
             with open(path, "rb") as handle:
-                _TABLES = pickle.load(handle)
+                _TABLES = from_blob(handle.read())
             return _TABLES
-        except Exception:
+        except (TableBlobError, OSError):
             pass  # fall through to regeneration
     _TABLES = generate(grammar)
     if use_cache:
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "wb") as handle:
-                pickle.dump(_TABLES, handle)
+            tmp = path + f".tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                handle.write(to_blob(_TABLES))
+            os.replace(tmp, path)  # atomic: concurrent workers race safely
         except OSError:
             pass
     return _TABLES
@@ -64,5 +86,6 @@ def c_tables(use_cache: bool = True) -> Tables:
 __all__ = [
     "CContext", "CONSTANT", "C_KEYWORDS", "GNU_ALIASES", "IDENTIFIER",
     "STRING", "SymbolStats", "TYPEDEF_NAME", "build_c_grammar",
-    "c_tables", "classify", "make_context_factory",
+    "c_tables", "c_tables_cache_path", "c_tables_key", "cache_root",
+    "classify", "make_context_factory",
 ]

@@ -1,0 +1,168 @@
+"""Persistent caches for corpus-scale runs.
+
+Two caches, both living under ``repro.cgrammar.cache_root()`` (or an
+explicit ``cache_dir``), both derived data that is safe to delete:
+
+* the **grammar-table cache** — versioned LALR table blobs
+  (``repro.parser.lalr.to_blob``) keyed by a content hash of the C
+  grammar, so worker processes deserialize prebuilt tables instead of
+  regenerating the LR(0) automaton and DeRemer–Pennello lookaheads;
+* the **result cache** — per-unit parse summaries keyed by the source
+  file's hash, the hash of its include closure, and a fingerprint of
+  the job configuration (include paths, builtin/extra macros,
+  optimization level), so a re-run over an unchanged corpus skips
+  straight to the recorded statistics.
+
+Cached result records are the engine's summary dicts (status, timing
+breakdown, subparser counts, preprocessor statistics) — not ASTs — so
+hits are cheap JSON reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Optional, Sequence
+
+from repro.cgrammar import c_tables, c_tables_cache_path, cache_root
+from repro.cpp import FileSystem, IncludeResolver
+from repro.parser.lalr import to_blob
+
+# Bump to invalidate every cached result record (schema or semantics
+# change in what the engine records per unit).
+RESULT_CACHE_VERSION = 1
+
+_INCLUDE_RE = re.compile(
+    r'^[ \t]*#[ \t]*include\w*[ \t]+([<"])([^>"\n]+)[>"]', re.MULTILINE)
+
+
+def warm_grammar_tables() -> str:
+    """Ensure the C table blob exists on disk; return its path.
+
+    Called in the parent before starting a worker pool, so every
+    worker takes the deserialize path rather than racing to
+    regenerate.  Writes the blob even when the parent already has
+    in-process tables (e.g. the cache directory was wiped)."""
+    tables = c_tables()
+    path = c_tables_cache_path()
+    if not os.path.exists(path):
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + f".tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                handle.write(to_blob(tables))
+            os.replace(tmp, path)
+        except OSError:
+            pass
+    return path
+
+
+def config_fingerprint(include_paths: Sequence[str],
+                       builtins: Optional[Dict[str, str]],
+                       extra_definitions: Optional[Dict[str, str]],
+                       optimization: str) -> str:
+    """Hash of everything besides the sources that shapes a parse."""
+    payload = json.dumps({
+        "version": RESULT_CACHE_VERSION,
+        "include_paths": list(include_paths),
+        "builtins": builtins,
+        "extra_definitions": extra_definitions,
+        "optimization": optimization,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def include_closure_digest(fs: FileSystem, unit: str,
+                           include_paths: Sequence[str]) -> str:
+    """Hash the transitive include closure of ``unit``.
+
+    A conservative textual approximation: every ``#include`` operand is
+    chased regardless of the conditionals around it (computed includes
+    contribute their operand text instead of a file).  Over-approximate
+    is the safe direction for a cache key — editing any header a unit
+    could see in any configuration invalidates the unit's entry.
+    """
+    resolver = IncludeResolver(fs, include_paths)
+    digest = hashlib.sha256()
+    seen = set()
+    stack = [unit]
+    while stack:
+        path = stack.pop()
+        if path in seen:
+            continue
+        seen.add(path)
+        text = fs.read(path)
+        if text is None:
+            continue
+        digest.update(path.encode())
+        digest.update(hashlib.sha256(text.encode()).digest())
+        for match in sorted(_INCLUDE_RE.findall(text)):
+            delim, name = match
+            resolved = resolver.resolve(name, delim == '"', path)
+            if resolved is None:
+                digest.update(f"<unresolved:{name}>".encode())
+            else:
+                stack.append(resolved)
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """On-disk per-unit result records, one JSON file per key."""
+
+    def __init__(self, cache_dir: Optional[str], fingerprint: str):
+        root = cache_dir or cache_root()
+        self.directory = os.path.join(root, "results", fingerprint)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, unit: str, source_text: str,
+                closure_digest: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(unit.encode())
+        digest.update(hashlib.sha256(source_text.encode()).digest())
+        digest.update(closure_digest.encode())
+        return digest.hexdigest()[:32]
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = self._path(key) + f".tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            pass  # cache writes are best-effort
+
+    def clear(self) -> int:
+        """Delete this fingerprint's records; return how many."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

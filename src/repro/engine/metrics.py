@@ -1,0 +1,75 @@
+"""JSON-lines progress/metrics stream for batch runs.
+
+Every engine run emits a stream of flat JSON objects — one per event —
+suitable for tailing during a long corpus run, for dashboards, and for
+benchmark post-processing:
+
+* ``{"event": "run-start", "units": N, "workers": W, ...}``
+* ``{"event": "unit", "unit": ..., "status": ..., "attempt": ...,
+  "cache": "hit"|"miss", "seconds": ..., "timing": {...},
+  "subparsers": {...}}`` — one per attempt per unit;
+* ``{"event": "run-end", "summary": {...}}``.
+
+Sinks are pluggable: a file path (line-buffered append), a writable
+file object, or any callable taking the event dict.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, List, Optional, Union
+
+STREAM_SCHEMA_VERSION = 1
+
+
+class MetricsStream:
+    """Serializes engine events as JSON lines to an optional sink."""
+
+    def __init__(self, sink: Union[None, str, Callable[[dict], Any],
+                                   Any] = None,
+                 keep_events: bool = False):
+        self._handle = None
+        self._owns_handle = False
+        self._callable: Optional[Callable[[dict], Any]] = None
+        self.events: Optional[List[dict]] = [] if keep_events else None
+        if sink is None:
+            pass
+        elif isinstance(sink, str):
+            self._handle = open(sink, "a", encoding="utf-8", buffering=1)
+            self._owns_handle = True
+        elif callable(sink):
+            self._callable = sink
+        else:
+            self._handle = sink  # writable file object
+
+    def emit(self, event: dict) -> None:
+        event.setdefault("ts", round(time.time(), 3))
+        event.setdefault("schema", STREAM_SCHEMA_VERSION)
+        if self.events is not None:
+            self.events.append(event)
+        if self._callable is not None:
+            self._callable(event)
+        if self._handle is not None:
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def run_start(self, units: int, workers: int, **extra) -> None:
+        self.emit({"event": "run-start", "units": units,
+                   "workers": workers, **extra})
+
+    def unit(self, record: dict) -> None:
+        self.emit({"event": "unit", **record})
+
+    def run_end(self, summary: dict) -> None:
+        self.emit({"event": "run-end", "summary": summary})
+
+    def close(self) -> None:
+        if self._owns_handle and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "MetricsStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

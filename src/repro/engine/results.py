@@ -1,0 +1,227 @@
+"""Per-unit records and corpus-level rollups.
+
+A unit *record* is a flat, JSON-serializable dict — the common currency
+between worker processes, the metrics stream, and the result cache:
+
+.. code-block:: python
+
+    {"unit": "drivers/net/net_drv0.c",
+     "status": "ok",            # ok | parse-failed | error | timeout
+     "attempt": 1,              # 1-based; >1 after retries
+     "cache": "miss",           # hit | miss
+     "seconds": 0.41,           # wall time inside the worker
+     "timing": {"lex": ..., "preprocess": ..., "parse": ...},
+     "subparsers": {"max": 7, "forks": 12, "merges": 11},
+     "preprocessor": {...},     # PreprocessorStats.as_dict()
+     "failures": [...],         # first few parse-failure messages
+     "error": None}             # exception repr for status "error"
+
+``aggregate`` folds records into a :class:`CorpusReport`: status
+counts, cache hits, timing totals, and the paper's rollups — Figure 8
+subparser percentiles, Figure 10 latency-breakdown percentiles, and
+Table 3 style per-counter percentiles over the preprocessor stats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+STATUS_OK = "ok"
+STATUS_PARSE_FAILED = "parse-failed"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+# Statuses the scheduler will resubmit (a parse failure is a property
+# of the source, not of the run — retrying cannot change it).
+RETRYABLE_STATUSES = (STATUS_ERROR, STATUS_TIMEOUT)
+
+PERCENTILES = (0.5, 0.9, 1.0)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (the paper's 50th/90th/100th columns)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, int(round(p * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def record_from_result(unit: str, result, attempt: int = 1,
+                       seconds: float = 0.0) -> dict:
+    """Build a unit record from a ``SuperCResult``."""
+    failures = [str(failure) for failure in result.failures[:3]]
+    stats = result.parse.stats
+    return {
+        "unit": unit,
+        "status": STATUS_OK if result.ok else STATUS_PARSE_FAILED,
+        "attempt": attempt,
+        "cache": "miss",
+        "seconds": round(seconds, 6),
+        "timing": {"lex": round(result.timing.lex, 6),
+                   "preprocess": round(result.timing.preprocess, 6),
+                   "parse": round(result.timing.parse, 6)},
+        "subparsers": {"max": stats.max_subparsers,
+                       "forks": stats.forks,
+                       "merges": stats.merges},
+        "preprocessor": result.unit.stats.as_dict(),
+        "failures": failures,
+        "error": None,
+    }
+
+
+def error_record(unit: str, status: str, message: str,
+                 attempt: int = 1, seconds: float = 0.0) -> dict:
+    """Build a unit record for a crashed or timed-out attempt."""
+    return {
+        "unit": unit,
+        "status": status,
+        "attempt": attempt,
+        "cache": "miss",
+        "seconds": round(seconds, 6),
+        "timing": {"lex": 0.0, "preprocess": 0.0, "parse": 0.0},
+        "subparsers": {"max": 0, "forks": 0, "merges": 0},
+        "preprocessor": {},
+        "failures": [],
+        "error": message,
+    }
+
+
+class CorpusReport:
+    """Aggregated outcome of one batch run."""
+
+    def __init__(self, records: List[dict], wall_seconds: float = 0.0,
+                 workers: int = 1):
+        self.records = records
+        self.wall_seconds = wall_seconds
+        self.workers = workers
+        by_status: Dict[str, int] = {}
+        for record in records:
+            by_status[record["status"]] = \
+                by_status.get(record["status"], 0) + 1
+        self.by_status = by_status
+        self.cache_hits = sum(1 for r in records
+                              if r.get("cache") == "hit")
+        self.cache_misses = len(records) - self.cache_hits
+
+    # -- counts ----------------------------------------------------------
+
+    @property
+    def units(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> int:
+        return self.by_status.get(STATUS_OK, 0)
+
+    @property
+    def failed(self) -> int:
+        return (self.by_status.get(STATUS_PARSE_FAILED, 0)
+                + self.by_status.get(STATUS_ERROR, 0)
+                + self.by_status.get(STATUS_TIMEOUT, 0))
+
+    @property
+    def all_ok(self) -> bool:
+        return self.units > 0 and self.ok == self.units
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.units if self.units else 0.0
+
+    # -- rollups ---------------------------------------------------------
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Summed per-unit worker time (vs ``wall_seconds``: the
+        difference is the parallel speedup)."""
+        return sum(record["seconds"] for record in self.records)
+
+    def statuses(self) -> Dict[str, str]:
+        """unit path -> status (for serial-vs-parallel comparison)."""
+        return {record["unit"]: record["status"]
+                for record in self.records}
+
+    def subparser_rollup(self) -> Dict[str, float]:
+        """Figure 8: percentiles of per-unit max live subparsers, plus
+        corpus-total forks/merges."""
+        maxima = [record["subparsers"]["max"] for record in self.records]
+        rollup = {f"p{int(p * 100)}": percentile(maxima, p)
+                  for p in PERCENTILES}
+        rollup["forks"] = sum(record["subparsers"]["forks"]
+                              for record in self.records)
+        rollup["merges"] = sum(record["subparsers"]["merges"]
+                               for record in self.records)
+        return rollup
+
+    def latency_rollup(self) -> Dict[str, Dict[str, float]]:
+        """Figure 10: per-phase latency percentiles and totals."""
+        rollup: Dict[str, Dict[str, float]] = {}
+        for phase in ("lex", "preprocess", "parse"):
+            values = [record["timing"][phase] for record in self.records]
+            rollup[phase] = {f"p{int(p * 100)}": percentile(values, p)
+                             for p in PERCENTILES}
+            rollup[phase]["total"] = sum(values)
+        return rollup
+
+    def preprocessor_rollup(self) -> Dict[str, Dict[str, float]]:
+        """Table 3: percentiles of each preprocessor counter across the
+        corpus's compilation units."""
+        counters: Dict[str, List[float]] = {}
+        for record in self.records:
+            for key, value in record.get("preprocessor", {}).items():
+                counters.setdefault(key, []).append(value)
+        return {key: {f"p{int(p * 100)}": percentile(values, p)
+                      for p in PERCENTILES}
+                for key, values in sorted(counters.items())}
+
+    def summary(self) -> dict:
+        """The run-end metrics event payload."""
+        return {
+            "units": self.units,
+            "by_status": dict(self.by_status),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "cpu_seconds": round(self.cpu_seconds, 3),
+            "workers": self.workers,
+            "subparsers": self.subparser_rollup(),
+        }
+
+
+def format_report(report: CorpusReport, verbose: bool = False) -> str:
+    """Human-readable corpus report for the CLI."""
+    lines = []
+    lines.append(f"units: {report.units}  ok: {report.ok}  "
+                 f"parse-failed: "
+                 f"{report.by_status.get(STATUS_PARSE_FAILED, 0)}  "
+                 f"errors: {report.by_status.get(STATUS_ERROR, 0)}  "
+                 f"timeouts: {report.by_status.get(STATUS_TIMEOUT, 0)}")
+    lines.append(f"cache: {report.cache_hits} hit / "
+                 f"{report.cache_misses} miss "
+                 f"({100.0 * report.cache_hit_rate:.0f}% hits)")
+    lines.append(f"wall: {report.wall_seconds:.2f}s over "
+                 f"{report.workers} worker(s); "
+                 f"cpu: {report.cpu_seconds:.2f}s")
+    sub = report.subparser_rollup()
+    lines.append(f"subparsers: p50 {sub['p50']:.0f}, "
+                 f"p90 {sub['p90']:.0f}, max {sub['p100']:.0f}; "
+                 f"forks {sub['forks']}, merges {sub['merges']}")
+    latency = report.latency_rollup()
+    lines.append("latency totals: " + ", ".join(
+        f"{phase} {latency[phase]['total']:.2f}s"
+        for phase in ("lex", "preprocess", "parse")))
+    if verbose:
+        lines.append("preprocessor rollup (p50/p90/p100):")
+        for key, row in report.preprocessor_rollup().items():
+            lines.append(f"  {key}: {row['p50']:.0f} / "
+                         f"{row['p90']:.0f} / {row['p100']:.0f}")
+    failing = [record for record in report.records
+               if record["status"] != STATUS_OK]
+    for record in failing[:10]:
+        detail = record["error"] or "; ".join(record["failures"][:1])
+        lines.append(f"  {record['status']}: {record['unit']}"
+                     + (f" — {detail}" if detail else ""))
+    if len(failing) > 10:
+        lines.append(f"  ... and {len(failing) - 10} more")
+    return "\n".join(lines)

@@ -1,0 +1,334 @@
+"""Corpus-scale batch scheduling over a process worker pool.
+
+The paper's evaluation parses 7,665 Linux compilation units; this
+module is the driver that makes such runs practical:
+
+* compilation units are independent, so they fan out across a
+  ``concurrent.futures`` process pool (one SuperC per worker, tables
+  deserialized from the persistent grammar-table cache);
+* each unit attempt runs under a **SIGALRM deadline** inside the
+  worker, so a pathological unit (exponential conditionals, macro
+  blowup) is cut off without losing the pool;
+* a crashed worker (hard kill, OOM) breaks only its in-flight units —
+  the pool is rebuilt and the units retried, up to ``retries`` times;
+* unchanged units are answered from the :class:`ResultCache` without
+  spawning any work at all.
+
+Results come back as plain record dicts (see ``repro.engine.results``)
+and are folded into a :class:`CorpusReport`.
+"""
+
+from __future__ import annotations
+
+import glob as glob_module
+import importlib
+import os
+import signal
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cpp import DictFileSystem, FileSystem, RealFileSystem
+from repro.engine.cache import (ResultCache, config_fingerprint,
+                                include_closure_digest,
+                                warm_grammar_tables)
+from repro.engine.metrics import MetricsStream
+from repro.engine.results import (RETRYABLE_STATUSES, STATUS_ERROR,
+                                  STATUS_TIMEOUT, CorpusReport,
+                                  error_record, record_from_result)
+from repro.parser.fmlr import OPTIMIZATION_LEVELS
+
+DEFAULT_OPTIMIZATION = "Shared, Lazy, & Early"
+
+
+class EngineConfig:
+    """Scheduling and caching knobs for a batch run."""
+
+    def __init__(self, workers: int = 1,
+                 timeout_seconds: float = 0.0,
+                 retries: int = 1,
+                 optimization: str = DEFAULT_OPTIMIZATION,
+                 cache_dir: Optional[str] = None,
+                 use_result_cache: bool = True,
+                 fault_hook: Union[None, str, Callable] = None):
+        if optimization not in OPTIMIZATION_LEVELS:
+            raise ValueError(f"unknown optimization {optimization!r}")
+        self.workers = max(1, workers)
+        self.timeout_seconds = timeout_seconds  # 0 disables the alarm
+        self.retries = max(0, retries)
+        self.optimization = optimization
+        self.cache_dir = cache_dir
+        self.use_result_cache = use_result_cache
+        # Test/benchmark instrumentation: called with the unit path
+        # before each parse attempt.  A dotted "pkg.mod:name" string is
+        # resolved inside the worker (start-method agnostic); a bare
+        # callable also works under the fork start method.
+        self.fault_hook = fault_hook
+
+
+class CorpusJob:
+    """What to parse: a file set, its units, and preprocessor config."""
+
+    def __init__(self, units: Sequence[str],
+                 include_paths: Sequence[str] = (),
+                 builtins: Optional[Dict[str, str]] = None,
+                 extra_definitions: Optional[Dict[str, str]] = None,
+                 files: Optional[Dict[str, str]] = None):
+        self.units = list(units)
+        self.include_paths = list(include_paths)
+        self.builtins = builtins
+        self.extra_definitions = extra_definitions
+        # In-memory corpus (DictFileSystem) when set; the real
+        # filesystem otherwise.  Both pickle cleanly to workers.
+        self.files = files
+
+    @classmethod
+    def from_directory(cls, root: str,
+                       include_paths: Sequence[str] = (),
+                       pattern: str = "**/*.c",
+                       builtins: Optional[Dict[str, str]] = None,
+                       extra_definitions: Optional[Dict[str, str]] = None
+                       ) -> "CorpusJob":
+        """Scan a source tree for compilation units.
+
+        Relative include paths are resolved against ``root``, so
+        ``superc-batch TREE -I include`` works from anywhere."""
+        root = os.path.abspath(root)
+        units = sorted(glob_module.glob(os.path.join(root, pattern),
+                                        recursive=True))
+        resolved = [path if os.path.isabs(path)
+                    else os.path.join(root, path)
+                    for path in include_paths]
+        return cls(units, resolved, builtins=builtins,
+                   extra_definitions=extra_definitions)
+
+    @classmethod
+    def from_corpus(cls, corpus,
+                    builtins: Optional[Dict[str, str]] = None,
+                    extra_definitions: Optional[Dict[str, str]] = None
+                    ) -> "CorpusJob":
+        """Wrap a ``repro.corpus.KernelCorpus`` (in-memory)."""
+        return cls(corpus.units, corpus.include_paths,
+                   builtins=builtins,
+                   extra_definitions=extra_definitions,
+                   files=dict(corpus.files))
+
+    def filesystem(self) -> FileSystem:
+        if self.files is not None:
+            return DictFileSystem(self.files)
+        return RealFileSystem()
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+class _UnitDeadline(Exception):
+    """Raised by the SIGALRM handler when an attempt hits its deadline."""
+
+
+_STATE: dict = {}
+
+
+def _resolve_hook(hook: Union[None, str, Callable]) -> Optional[Callable]:
+    if hook is None or callable(hook):
+        return hook
+    module_name, _sep, attr = hook.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def _init_worker(job: CorpusJob, optimization: str,
+                 timeout_seconds: float,
+                 fault_hook: Union[None, str, Callable]) -> None:
+    """Build per-process state once: filesystem, tables, SuperC."""
+    # Lazy import keeps worker bootstrap (and pickling) lean.
+    from repro.cgrammar import c_tables
+    from repro.superc import SuperC
+    superc = SuperC(job.filesystem(),
+                    include_paths=job.include_paths,
+                    builtins=job.builtins,
+                    extra_definitions=job.extra_definitions,
+                    options=OPTIMIZATION_LEVELS[optimization],
+                    tables=c_tables())
+    _STATE["superc"] = superc
+    _STATE["timeout"] = timeout_seconds
+    _STATE["hook"] = _resolve_hook(fault_hook)
+
+
+def _alarm_handler(signum, frame):
+    raise _UnitDeadline()
+
+
+def _run_unit(task: Tuple[str, int]) -> dict:
+    """Parse one unit inside a worker; never raises."""
+    unit, attempt = task
+    superc = _STATE["superc"]
+    timeout = _STATE["timeout"]
+    hook = _STATE["hook"]
+    start = time.perf_counter()
+    use_alarm = timeout > 0 and hasattr(signal, "setitimer")
+    previous_handler = None
+    if use_alarm:
+        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        if hook is not None:
+            hook(unit)
+        text = superc.fs.read(unit)
+        if text is None:
+            return error_record(unit, STATUS_ERROR,
+                                f"cannot read {unit}", attempt,
+                                time.perf_counter() - start)
+        result = superc.parse_source(text, unit)
+        return record_from_result(unit, result, attempt,
+                                  time.perf_counter() - start)
+    except _UnitDeadline:
+        return error_record(unit, STATUS_TIMEOUT,
+                            f"deadline of {timeout:.3g}s exceeded",
+                            attempt, time.perf_counter() - start)
+    except Exception as exc:
+        return error_record(unit, STATUS_ERROR, repr(exc), attempt,
+                            time.perf_counter() - start)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+class BatchEngine:
+    """Schedules a corpus job over workers, caches, and metrics."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+
+    def run(self, job: CorpusJob,
+            metrics: Optional[MetricsStream] = None) -> CorpusReport:
+        config = self.config
+        metrics = metrics or MetricsStream()
+        wall_start = time.perf_counter()
+        cache = self._result_cache(job) if config.use_result_cache \
+            else None
+        metrics.run_start(len(job.units), config.workers,
+                          optimization=config.optimization,
+                          result_cache=cache is not None)
+
+        final: Dict[str, dict] = {}
+        pending: List[str] = []
+        cache_keys: Dict[str, str] = {}
+        fs = job.filesystem()
+        for unit in job.units:
+            hit = None
+            if cache is not None:
+                key = self._unit_key(cache, fs, job, unit)
+                if key is not None:
+                    cache_keys[unit] = key
+                    hit = cache.get(key)
+            if hit is not None:
+                hit = dict(hit)
+                hit["cache"] = "hit"
+                final[unit] = hit
+                metrics.unit(hit)
+            else:
+                pending.append(unit)
+
+        if pending:
+            # Warm the table blob before forking so workers
+            # deserialize instead of regenerating in parallel.
+            warm_grammar_tables()
+        attempt = 1
+        while pending:
+            for record in self._run_wave(job, pending, attempt):
+                final[record["unit"]] = record
+                metrics.unit(record)
+            attempt += 1
+            if attempt > config.retries + 1:
+                break
+            pending = [unit for unit in pending
+                       if final[unit]["status"] in RETRYABLE_STATUSES]
+
+        if cache is not None:
+            for unit, record in final.items():
+                if record["cache"] == "hit" or unit not in cache_keys:
+                    continue
+                # Transient outcomes (crash, deadline) stay uncached so
+                # the next run retries them.
+                if record["status"] not in RETRYABLE_STATUSES:
+                    cache.put(cache_keys[unit], record)
+
+        records = [final[unit] for unit in job.units if unit in final]
+        report = CorpusReport(records,
+                              wall_seconds=time.perf_counter()
+                              - wall_start,
+                              workers=config.workers)
+        metrics.run_end(report.summary())
+        return report
+
+    # -- internals --------------------------------------------------------
+
+    def _result_cache(self, job: CorpusJob) -> ResultCache:
+        fingerprint = config_fingerprint(
+            job.include_paths, job.builtins, job.extra_definitions,
+            self.config.optimization)
+        return ResultCache(self.config.cache_dir, fingerprint)
+
+    @staticmethod
+    def _unit_key(cache: ResultCache, fs: FileSystem, job: CorpusJob,
+                  unit: str) -> Optional[str]:
+        text = fs.read(unit)
+        if text is None:
+            return None
+        closure = include_closure_digest(fs, unit, job.include_paths)
+        return cache.key_for(unit, text, closure)
+
+    def _run_wave(self, job: CorpusJob, units: Sequence[str],
+                  attempt: int) -> List[dict]:
+        config = self.config
+        tasks = [(unit, attempt) for unit in units]
+        if config.workers == 1:
+            _init_worker(job, config.optimization,
+                         config.timeout_seconds, config.fault_hook)
+            return [_run_unit(task) for task in tasks]
+        if attempt == 1:
+            return self._run_pool(job, tasks)
+        # Retry waves isolate each unit in its own pool: when a unit
+        # hard-kills its worker, the broken pool takes every sibling
+        # in-flight future down with it, and sharing a pool again
+        # would let the same unit sink its siblings' retries too.
+        records: List[dict] = []
+        for task in tasks:
+            records.extend(self._run_pool(job, [task]))
+        return records
+
+    def _run_pool(self, job: CorpusJob,
+                  tasks: List[Tuple[str, int]]) -> List[dict]:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        config = self.config
+        records: List[dict] = []
+        # A hard-killed worker (OOM, segfault) breaks the whole
+        # executor; its in-flight units become retryable error records
+        # and the next wave — driven by ``run``'s retry loop — gets a
+        # brand-new pool.
+        with ProcessPoolExecutor(
+                max_workers=min(config.workers, len(tasks)),
+                initializer=_init_worker,
+                initargs=(job, config.optimization,
+                          config.timeout_seconds,
+                          config.fault_hook)) as pool:
+            futures = {pool.submit(_run_unit, task): task
+                       for task in tasks}
+            for future, task in futures.items():
+                try:
+                    records.append(future.result())
+                except BrokenProcessPool:
+                    records.append(error_record(
+                        task[0], STATUS_ERROR,
+                        "worker process died", task[1]))
+                except Exception as exc:
+                    records.append(error_record(
+                        task[0], STATUS_ERROR, repr(exc), task[1]))
+        return records

@@ -20,9 +20,16 @@ in ``Tables.conflicts``.
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.parser.grammar import AUGMENTED, END, Assoc, Grammar, Production
+
+# On-disk table-blob format (``to_blob``/``from_blob``).  Bump whenever
+# the pickled shape of Tables/Grammar/Production changes so stale cache
+# files are regenerated instead of deserialized wrongly.
+TABLE_BLOB_MAGIC = b"repro-lalr-tables"
+TABLE_BLOB_VERSION = 1
 
 # An LR(0) item is (production index, dot position).
 Item = Tuple[int, int]
@@ -72,6 +79,50 @@ class Tables:
     def expected_terminals(self, state: int) -> List[str]:
         """Terminals with any action in ``state`` (for error messages)."""
         return sorted(self.action[state])
+
+
+class TableBlobError(Exception):
+    """A table blob is corrupt, foreign, or from another format version."""
+
+
+def to_blob(tables: Tables) -> bytes:
+    """Serialize generated tables to a versioned byte blob.
+
+    The blob embeds a magic marker and ``TABLE_BLOB_VERSION`` so caches
+    written by an incompatible build are rejected (and regenerated) by
+    :func:`from_blob` instead of being loaded as garbage.  Production
+    ACTION callables are pickled by reference, so the deserializing
+    process must import the same grammar module — which it always does,
+    since only our own grammars produce these tables.
+    """
+    return pickle.dumps({
+        "magic": TABLE_BLOB_MAGIC,
+        "version": TABLE_BLOB_VERSION,
+        "tables": tables,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def from_blob(blob: bytes) -> Tables:
+    """Deserialize tables written by :func:`to_blob`.
+
+    Raises :class:`TableBlobError` on anything that is not a blob of
+    the current format version; callers treat that as a cache miss.
+    """
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise TableBlobError(f"undecodable table blob: {exc!r}")
+    if not isinstance(payload, dict) \
+            or payload.get("magic") != TABLE_BLOB_MAGIC:
+        raise TableBlobError("not a repro LALR table blob")
+    version = payload.get("version")
+    if version != TABLE_BLOB_VERSION:
+        raise TableBlobError(
+            f"table blob version {version!r} != {TABLE_BLOB_VERSION}")
+    tables = payload.get("tables")
+    if not isinstance(tables, Tables):
+        raise TableBlobError("table blob payload is not a Tables")
+    return tables
 
 
 class _LR0:

@@ -19,7 +19,7 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.bdd import BDDManager
 from repro.cgrammar import (SymbolStats, c_tables, classify,
@@ -27,6 +27,7 @@ from repro.cgrammar import (SymbolStats, c_tables, classify,
 from repro.cpp import CompilationUnit, FileSystem, Preprocessor
 from repro.parser.fmlr import (FMLROptions, FMLRParser, FMLRResult,
                                ParseFailure)
+from repro.parser.lalr import Tables
 from repro.parser.lr import LRParser
 
 
@@ -78,7 +79,9 @@ class SuperC:
                  include_paths: Sequence[str] = (),
                  builtins: Optional[Dict[str, str]] = None,
                  extra_definitions: Optional[Dict[str, str]] = None,
-                 options: Optional[FMLROptions] = None):
+                 options: Optional[FMLROptions] = None,
+                 tables: Optional[Tables] = None,
+                 context_factory_maker: Optional[Callable] = None):
         self.fs = fs
         self.include_paths = list(include_paths)
         self.builtins = builtins
@@ -86,7 +89,13 @@ class SuperC:
         # any other overrides) are supplied here.
         self.extra_definitions = extra_definitions
         self.options = options
-        self.tables = c_tables()
+        # Prebuilt tables and a (manager, stats) -> context-factory
+        # maker can be injected so repeated construction — the batch
+        # engine builds one SuperC per corpus job per worker — shares
+        # one table build instead of paying c_tables() per instance.
+        self.tables = tables if tables is not None else c_tables()
+        self.context_factory_maker = (context_factory_maker
+                                      or make_context_factory)
 
     # -- pipeline -------------------------------------------------------------
 
@@ -129,7 +138,7 @@ class SuperC:
     def _parse_unit(self, unit: CompilationUnit, lex_seconds: float,
                     pp_seconds: float) -> SuperCResult:
         symbol_stats = SymbolStats()
-        factory = make_context_factory(unit.manager, symbol_stats)
+        factory = self.context_factory_maker(unit.manager, symbol_stats)
         parser = FMLRParser(self.tables, classify,
                             context_factory=factory,
                             options=self.options)

@@ -2,6 +2,8 @@
 
 * ``python -m repro.tools.parse_cli`` — parse one file in all
   configurations (``superc-parse``).
+* ``python -m repro.tools.batch_cli`` — parse a whole corpus over a
+  worker pool with persistent caches (``superc-batch``).
 * ``python -m repro.tools.report_cli`` — Table 2/3 usage survey for a
   source tree (``superc-report``).
 """

@@ -6,18 +6,23 @@ Usage::
 
 Prints a parse summary; optionally dumps the preprocessed token tree
 (``--preprocess-only``), the AST (``--dump-ast``), preprocessor
-statistics (``--stats``), or per-configuration projections
-(``--project defined:CONFIG_X ...``).
+statistics (``--stats``), per-configuration projections
+(``--project defined:CONFIG_X ...``), or a machine-readable summary
+(``--json``).
+
+Exit status: 0 on success, 1 when any configuration fails to parse,
+2 when the input cannot be read, 3 on a preprocessor/lexer error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.baselines import FormulaManager
-from repro.cpp import RealFileSystem, render
+from repro.cpp import PreprocessorError, RealFileSystem, render
 from repro.parser.ast import dump, iter_tokens, project
 from repro.parser.fmlr import OPTIMIZATION_LEVELS
 from repro.superc import SuperC
@@ -48,6 +53,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--optimization", default="Shared, Lazy, & Early",
                         choices=sorted(OPTIMIZATION_LEVELS),
                         help="FMLR optimization level")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON summary "
+                             "instead of the text report")
     return parser
 
 
@@ -77,8 +85,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         result = superc.parse_file(args.file)
     except FileNotFoundError:
+        if args.json:
+            print(json.dumps({"unit": args.file, "status": "error",
+                              "error": "cannot read file"}))
         print(f"error: cannot read {args.file}", file=sys.stderr)
         return 2
+    except PreprocessorError as error:
+        if args.json:
+            print(json.dumps({"unit": args.file, "status": "error",
+                              "error": str(error)}))
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    if args.json:
+        from repro.engine.results import record_from_result
+        record = record_from_result(args.file, result,
+                                    seconds=result.timing.total)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
     status = "ok" if result.ok else "FAILED in some configurations"
     print(f"{args.file}: {status}")
     print(f"  configurations accepted: {len(result.parse.accepted)} "

@@ -1,8 +1,10 @@
 """Tests for the command-line tools."""
 
+import json
+
 import pytest
 
-from repro.tools import parse_cli, report_cli
+from repro.tools import batch_cli, parse_cli, report_cli
 
 
 @pytest.fixture()
@@ -89,6 +91,101 @@ class TestParseCli:
                                "-I", str(source_tree / "include"),
                                "--optimization", "MAPR"])
         assert code == 0
+
+    def test_json_output(self, source_tree, capsys):
+        code = parse_cli.main([str(source_tree / "main.c"),
+                               "-I", str(source_tree / "include"),
+                               "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["status"] == "ok"
+        assert record["unit"].endswith("main.c")
+        assert set(record["timing"]) == {"lex", "preprocess", "parse"}
+        assert record["subparsers"]["max"] >= 1
+        assert record["preprocessor"]["macro_definitions"] >= 1
+
+    def test_json_parse_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("#ifdef A\nint x = ;\n#endif\nint y;\n")
+        code = parse_cli.main([str(bad), "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert record["status"] == "parse-failed"
+        assert record["failures"]
+
+    def test_preprocessor_error_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "pperr.c"
+        src.write_text("#if (\nint z;\n#endif\n")
+        code = parse_cli.main([str(src)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "error:" in err
+
+
+class TestBatchCli:
+    def test_tree_run(self, source_tree, tmp_path, capsys):
+        code = batch_cli.main([str(source_tree), "-I", "include",
+                               "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "units: 1  ok: 1" in out
+        assert "subparsers:" in out
+
+    def test_warm_run_hits_cache(self, source_tree, tmp_path, capsys):
+        argv = [str(source_tree), "-I", "include",
+                "--cache-dir", str(tmp_path / "cache")]
+        batch_cli.main(argv)
+        capsys.readouterr()
+        code = batch_cli.main(argv)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 hit / 0 miss" in out
+
+    def test_json_report(self, source_tree, tmp_path, capsys):
+        code = batch_cli.main([str(source_tree), "-I", "include",
+                               "--cache-dir", str(tmp_path / "cache"),
+                               "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["by_status"] == {"ok": 1}
+        assert "latency" in payload and "subparsers" in payload
+
+    def test_metrics_file(self, source_tree, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        code = batch_cli.main([str(source_tree), "-I", "include",
+                               "--cache-dir", str(tmp_path / "cache"),
+                               "--metrics", str(metrics)])
+        assert code == 0
+        events = [json.loads(line)
+                  for line in metrics.read_text().splitlines()]
+        assert events[0]["event"] == "run-start"
+        assert events[-1]["event"] == "run-end"
+
+    def test_parallel_workers(self, source_tree, tmp_path, capsys):
+        code = batch_cli.main([str(source_tree), "-I", "include",
+                               "--cache-dir", str(tmp_path / "cache"),
+                               "--workers", "2"])
+        assert code == 0
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "bad.c").write_text(
+            "#ifdef A\nint x = ;\n#endif\nint y;\n")
+        code = batch_cli.main([str(tree),
+                               "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "parse-failed: 1" in out
+
+    def test_empty_tree(self, tmp_path, capsys):
+        tree = tmp_path / "empty"
+        tree.mkdir()
+        code = batch_cli.main([str(tree)])
+        assert code == 2
+
+    def test_no_input(self, capsys):
+        assert batch_cli.main([]) == 2
 
 
 class TestReportCli:

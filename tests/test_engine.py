@@ -1,0 +1,308 @@
+"""Tests for the corpus-scale batch engine (``repro.engine``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus import KernelSpec, generate_kernel
+from repro.cpp import DictFileSystem
+from repro.engine import (BatchEngine, CorpusJob, CorpusReport,
+                          EngineConfig, MetricsStream, STATUS_ERROR,
+                          STATUS_OK, STATUS_TIMEOUT, format_report,
+                          include_closure_digest, percentile)
+
+# Small but real: 2 compilation units with the full Table 1 feature mix.
+SMALL_SPEC = KernelSpec(seed=11, subsystems=1, drivers_per_subsystem=2,
+                        functions_per_driver=3, figure6_entries=4,
+                        extra_headers_per_subsystem=1)
+
+# Fault hooks must be importable by name so worker processes can
+# resolve them under any multiprocessing start method; the target unit
+# travels through the environment (inherited by workers).
+BAD_UNIT_ENV = "REPRO_ENGINE_TEST_BAD_UNIT"
+
+
+def slow_unit_hook(unit):
+    import time
+    if os.environ.get(BAD_UNIT_ENV) == unit:
+        time.sleep(10)
+
+
+def raising_unit_hook(unit):
+    if os.environ.get(BAD_UNIT_ENV) == unit:
+        raise RuntimeError("injected failure")
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_kernel(SMALL_SPEC)
+
+
+def make_config(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    return EngineConfig(**kwargs)
+
+
+class TestSerialRun:
+    def test_all_units_parse(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        assert report.units == len(small_corpus.units)
+        assert report.all_ok
+        assert report.by_status == {STATUS_OK: report.units}
+
+    def test_record_schema(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        record = report.records[0]
+        for key in ("unit", "status", "attempt", "cache", "seconds",
+                    "timing", "subparsers", "preprocessor", "failures",
+                    "error"):
+            assert key in record
+        assert set(record["timing"]) == {"lex", "preprocess", "parse"}
+        assert set(record["subparsers"]) == {"max", "forks", "merges"}
+        assert record["subparsers"]["max"] >= 1
+        assert record["preprocessor"]["macro_definitions"] > 0
+        # Records are the JSON currency of the metrics stream and the
+        # result cache: they must round-trip.
+        assert json.loads(json.dumps(record)) == record
+
+    def test_parse_failure_status(self, tmp_path):
+        job = CorpusJob(["broken.c"],
+                        files={"broken.c": "#ifdef A\nint x = ;\n"
+                                           "#endif\nint y;\n"})
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        assert report.by_status == {"parse-failed": 1}
+        assert not report.all_ok
+        assert report.records[0]["failures"]
+
+    def test_unreadable_unit_is_error(self, tmp_path):
+        job = CorpusJob(["missing.c"], files={})
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        assert report.by_status == {STATUS_ERROR: 1}
+
+
+class TestParallelRun:
+    def test_matches_serial(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        serial = BatchEngine(make_config(
+            tmp_path / "a", use_result_cache=False)).run(job)
+        parallel = BatchEngine(make_config(
+            tmp_path / "b", workers=2, use_result_cache=False)).run(job)
+        assert serial.statuses() == parallel.statuses()
+        assert serial.subparser_rollup() == parallel.subparser_rollup()
+
+    def test_crash_isolated_to_one_unit(self, small_corpus, tmp_path,
+                                        monkeypatch):
+        job = CorpusJob.from_corpus(small_corpus)
+        bad = job.units[0]
+        monkeypatch.setenv(BAD_UNIT_ENV, bad)
+        config = make_config(
+            tmp_path, workers=2, retries=1, use_result_cache=False,
+            fault_hook="tests.test_engine:raising_unit_hook")
+        report = BatchEngine(config).run(job)
+        statuses = report.statuses()
+        assert statuses[bad] == STATUS_ERROR
+        for unit in job.units[1:]:
+            assert statuses[unit] == STATUS_OK
+        bad_record = [r for r in report.records if r["unit"] == bad][0]
+        assert bad_record["attempt"] == 2  # retried once
+        assert "injected failure" in bad_record["error"]
+
+
+class TestTimeoutAndRetry:
+    def test_slow_unit_times_out_and_retries(self, small_corpus,
+                                             tmp_path, monkeypatch):
+        job = CorpusJob.from_corpus(small_corpus)
+        bad = job.units[-1]
+        monkeypatch.setenv(BAD_UNIT_ENV, bad)
+        config = make_config(
+            tmp_path, timeout_seconds=0.2, retries=1,
+            use_result_cache=False,
+            fault_hook="tests.test_engine:slow_unit_hook")
+        report = BatchEngine(config).run(job)
+        statuses = report.statuses()
+        assert statuses[bad] == STATUS_TIMEOUT
+        for unit in job.units[:-1]:
+            assert statuses[unit] == STATUS_OK
+        bad_record = [r for r in report.records if r["unit"] == bad][0]
+        assert bad_record["attempt"] == 2
+        assert "deadline" in bad_record["error"]
+
+    def test_zero_retries(self, small_corpus, tmp_path, monkeypatch):
+        job = CorpusJob.from_corpus(small_corpus)
+        bad = job.units[0]
+        monkeypatch.setenv(BAD_UNIT_ENV, bad)
+        config = make_config(
+            tmp_path, timeout_seconds=0.2, retries=0,
+            use_result_cache=False,
+            fault_hook="tests.test_engine:slow_unit_hook")
+        report = BatchEngine(config).run(job)
+        bad_record = [r for r in report.records if r["unit"] == bad][0]
+        assert bad_record["status"] == STATUS_TIMEOUT
+        assert bad_record["attempt"] == 1
+
+
+class TestResultCache:
+    def test_second_run_hits(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        config = make_config(tmp_path)
+        cold = BatchEngine(config).run(job)
+        warm = BatchEngine(config).run(job)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == warm.units
+        assert warm.cache_hit_rate == 1.0
+        assert cold.statuses() == warm.statuses()
+        assert cold.subparser_rollup() == warm.subparser_rollup()
+
+    def test_source_edit_invalidates_unit(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        config = make_config(tmp_path)
+        BatchEngine(config).run(job)
+        edited = dict(small_corpus.files)
+        target = job.units[0]
+        edited[target] += "\nint engine_cache_probe;\n"
+        edited_job = CorpusJob(job.units, job.include_paths,
+                               files=edited)
+        warm = BatchEngine(config).run(edited_job)
+        by_unit = {r["unit"]: r["cache"] for r in warm.records}
+        assert by_unit[target] == "miss"
+        for unit in job.units[1:]:
+            assert by_unit[unit] == "hit"
+
+    def test_header_edit_invalidates_includers(self, small_corpus,
+                                               tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        config = make_config(tmp_path)
+        BatchEngine(config).run(job)
+        edited = dict(small_corpus.files)
+        # kernel.h is included (transitively) by every driver.
+        edited["include/linux/kernel.h"] += "\nint cache_probe;\n"
+        warm = BatchEngine(config).run(
+            CorpusJob(job.units, job.include_paths, files=edited))
+        assert warm.cache_hits == 0
+
+    def test_timeouts_stay_uncached(self, small_corpus, tmp_path,
+                                    monkeypatch):
+        job = CorpusJob.from_corpus(small_corpus)
+        bad = job.units[0]
+        monkeypatch.setenv(BAD_UNIT_ENV, bad)
+        config = make_config(
+            tmp_path, timeout_seconds=0.2, retries=0,
+            fault_hook="tests.test_engine:slow_unit_hook")
+        BatchEngine(config).run(job)
+        # Second run without the fault: the previously timed-out unit
+        # must be reparsed (miss), not answered from the cache.
+        monkeypatch.delenv(BAD_UNIT_ENV)
+        warm = BatchEngine(config).run(job)
+        by_unit = {r["unit"]: r for r in warm.records}
+        assert by_unit[bad]["cache"] == "miss"
+        assert by_unit[bad]["status"] == STATUS_OK
+
+
+class TestIncludeClosureDigest:
+    FILES = {
+        "a.c": '#include <x.h>\nint a;\n',
+        "include/x.h": '#include "y.h"\nint x;\n',
+        "include/y.h": "int y;\n",
+        "include/z.h": "int z;\n",
+    }
+
+    def digest(self, files):
+        return include_closure_digest(DictFileSystem(files), "a.c",
+                                      ["include"])
+
+    def test_stable(self):
+        assert self.digest(self.FILES) == self.digest(dict(self.FILES))
+
+    def test_transitive_header_edit_changes_digest(self):
+        edited = dict(self.FILES)
+        edited["include/y.h"] = "long y;\n"
+        assert self.digest(edited) != self.digest(self.FILES)
+
+    def test_unrelated_header_ignored(self):
+        edited = dict(self.FILES)
+        edited["include/z.h"] = "long z;\n"
+        assert self.digest(edited) == self.digest(self.FILES)
+
+
+class TestMetricsStream:
+    def test_event_sequence_and_schema(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        stream = MetricsStream(keep_events=True)
+        BatchEngine(make_config(tmp_path)).run(job, stream)
+        events = stream.events
+        assert events[0]["event"] == "run-start"
+        assert events[0]["units"] == len(job.units)
+        assert events[-1]["event"] == "run-end"
+        unit_events = [e for e in events if e["event"] == "unit"]
+        assert len(unit_events) == len(job.units)
+        for event in unit_events:
+            for key in ("unit", "status", "attempt", "cache",
+                        "seconds", "timing", "subparsers", "ts",
+                        "schema"):
+                assert key in event
+        assert events[-1]["summary"]["by_status"] == \
+            {STATUS_OK: len(job.units)}
+
+    def test_jsonl_file_sink(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        path = tmp_path / "metrics.jsonl"
+        with MetricsStream(str(path)) as stream:
+            BatchEngine(make_config(tmp_path)).run(job, stream)
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["event"] == "run-start"
+        assert parsed[-1]["event"] == "run-end"
+        assert all("ts" in event for event in parsed)
+
+
+class TestFromDirectory:
+    def test_scan_and_parse(self, small_corpus, tmp_path):
+        root = tmp_path / "tree"
+        small_corpus.write_to_directory(str(root))
+        job = CorpusJob.from_directory(str(root),
+                                       include_paths=["include"])
+        assert len(job.units) == len(small_corpus.units)
+        assert all(os.path.isabs(unit) for unit in job.units)
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        assert report.all_ok
+
+
+class TestReportRollups:
+    def test_percentile(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.9) == 3.0
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+        assert percentile([1, 2, 3, 4, 5], 1.0) == 5
+
+    def test_rollups_and_format(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        sub = report.subparser_rollup()
+        assert sub["p100"] >= sub["p90"] >= sub["p50"] >= 1
+        assert sub["forks"] == sub["merges"] > 0
+        latency = report.latency_rollup()
+        assert set(latency) == {"lex", "preprocess", "parse"}
+        assert latency["parse"]["total"] > 0
+        pp = report.preprocessor_rollup()
+        assert pp["macro_definitions"]["p100"] >= \
+            pp["macro_definitions"]["p50"] > 0
+        text = format_report(report, verbose=True)
+        assert "units:" in text and "subparsers:" in text
+        assert "macro_definitions" in text
+
+    def test_summary_is_json_serializable(self, small_corpus, tmp_path):
+        job = CorpusJob.from_corpus(small_corpus)
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        json.dumps(report.summary())
+
+
+class TestEngineConfig:
+    def test_unknown_optimization_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(optimization="Turbo")
+
+    def test_worker_floor(self):
+        assert EngineConfig(workers=0).workers == 1

@@ -298,3 +298,50 @@ class TestTablesIntrospection:
         g.rule("S", ["a", "b"])
         tables = generate(g)
         assert tables.expected_terminals(0) == ["a"]
+
+
+class TestTableSerialization:
+    """to_blob/from_blob round-tripping (the engine's table cache)."""
+
+    def make_expr_grammar(self):
+        g = Grammar("E")
+        g.rule("E", ["E", "+", "T"], node_name="Add")
+        g.rule("E", ["T"], build=Build.PASSTHROUGH)
+        g.rule("T", ["T", "*", "F"], node_name="Mul")
+        g.rule("T", ["F"], build=Build.PASSTHROUGH)
+        g.rule("F", ["(", "E", ")"], build=Build.PASSTHROUGH)
+        g.rule("F", ["NUM"], build=Build.PASSTHROUGH)
+        return g
+
+    def test_round_trip_parses_identically(self):
+        from repro.parser.ast import dump
+        from repro.parser.lalr import from_blob, to_blob
+        fresh = generate(self.make_expr_grammar())
+        clone = from_blob(to_blob(fresh))
+        assert clone.num_states == fresh.num_states
+        assert clone.action == fresh.action
+        assert clone.goto == fresh.goto
+        tokens = tokens_of("1 + 2 * (3 + 4)")
+        fresh_value = LRParser(fresh, classify_text).parse(list(tokens))
+        clone_value = LRParser(clone, classify_text).parse(list(tokens))
+        assert dump(clone_value) == dump(fresh_value)
+
+    def test_version_stamp_enforced(self):
+        import pickle
+
+        from repro.parser.lalr import (TABLE_BLOB_MAGIC, TableBlobError,
+                                       from_blob, to_blob)
+        blob = to_blob(generate(self.make_expr_grammar()))
+        payload = pickle.loads(blob)
+        assert payload["magic"] == TABLE_BLOB_MAGIC
+        payload["version"] += 1
+        with pytest.raises(TableBlobError):
+            from_blob(pickle.dumps(payload))
+
+    def test_garbage_rejected(self):
+        from repro.parser.lalr import TableBlobError, from_blob
+        with pytest.raises(TableBlobError):
+            from_blob(b"not a blob")
+        import pickle
+        with pytest.raises(TableBlobError):
+            from_blob(pickle.dumps({"magic": b"other", "version": 1}))

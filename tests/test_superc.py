@@ -296,3 +296,40 @@ class TestSuperCFileAPI:
                     result.ast, assignment_for(result.unit, config))
                 assert ast_signature(expected) == \
                     ast_signature(actual), (level, config)
+
+
+class TestConstructorInjection:
+    """Prebuilt tables / context-factory makers via the constructor
+    (the batch engine builds many SuperC instances cheaply)."""
+
+    SOURCE = ("#ifdef CONFIG_SMP\nint nr_cpus = 8;\n#else\n"
+              "int nr_cpus = 1;\n#endif\n")
+
+    def test_injected_tables_used(self):
+        from repro.parser.lalr import from_blob, to_blob
+        clone = from_blob(to_blob(c_tables()))
+        superc = SuperC(DictFileSystem({}), tables=clone)
+        assert superc.tables is clone
+        result = superc.parse_source(self.SOURCE)
+        assert result.ok
+        baseline = SuperC(DictFileSystem({})).parse_source(self.SOURCE)
+        assert ast_signature(result.ast) == ast_signature(baseline.ast)
+
+    def test_injected_context_factory_maker(self):
+        calls = []
+
+        def maker(manager, stats=None):
+            calls.append(manager)
+            return make_context_factory(manager, stats)
+
+        superc = SuperC(DictFileSystem({}),
+                        context_factory_maker=maker)
+        result = superc.parse_source(self.SOURCE)
+        assert result.ok
+        assert len(calls) == 1
+
+    def test_shared_tables_across_instances(self):
+        tables = c_tables()
+        instances = [SuperC(DictFileSystem({}), tables=tables)
+                     for _ in range(3)]
+        assert all(s.tables is tables for s in instances)
