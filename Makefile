@@ -2,7 +2,7 @@
 # without installation.
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke-batch bench clean-cache
+.PHONY: test smoke-batch fuzz-smoke bench clean-cache
 
 # Tier 1: the full unit-test suite (must stay green).
 test:
@@ -16,6 +16,14 @@ smoke-batch:
 	$(PY) -m repro.tools.batch_cli --generate --seed 42 \
 	    --workers 2 --timeout 60 --retries 1 --no-result-cache \
 	    --metrics -
+
+# Tier 2: differential-fuzzing smoke — generate 50 adversarial units
+# and require the configuration-preserving pipeline and the
+# single-configuration oracle to agree on every sampled configuration
+# (tokens, errors, parses, ASTs).  Any disagreement is ddmin-shrunk
+# and exits nonzero.
+fuzz-smoke:
+	$(PY) -m repro.tools.fuzz_cli --seed 0 --units 50 --timeout 60
 
 # Full benchmark suite (Tables 2-3, Figures 8-10, scaling + speedup).
 bench:

@@ -198,6 +198,74 @@ class BDDNode:
 
         yield from walk(self, {})
 
+    def iter_models(self, variables: Optional[Iterable[str]] = None) \
+            -> Iterator[Dict[str, bool]]:
+        """Yield *total* satisfying assignments over ``variables``.
+
+        Unlike :meth:`all_sat`, which yields partial cubes, every
+        yielded dict assigns every requested variable; variables absent
+        from a cube are expanded both ways.  ``variables`` defaults to
+        the node's support and must cover it.  This is the
+        sat-assignment iterator the differential harness
+        (:mod:`repro.qa`) uses to enumerate configurations.
+        """
+        names = tuple(variables) if variables is not None \
+            else self.support()
+        for name in names:
+            self.manager.var(name)
+        missing = [name for name in self.support() if name not in names]
+        if missing:
+            raise ValueError(
+                "iter_models variables must cover the support; "
+                f"missing {missing[0]!r}")
+        for cube in self.all_sat():
+            free = [name for name in names if name not in cube]
+            for bits in itertools.product((False, True),
+                                          repeat=len(free)):
+                model = dict(cube)
+                model.update(zip(free, bits))
+                yield model
+
+    def random_model(self, rng,
+                     variables: Optional[Iterable[str]] = None) \
+            -> Optional[Dict[str, bool]]:
+        """One uniformly random total satisfying assignment, or None.
+
+        ``rng`` is a :class:`random.Random`; sampling walks the DAG
+        weighting each branch by its model count, so every satisfying
+        assignment over ``variables`` is equally likely.
+        """
+        if self.is_false():
+            return None
+        names = tuple(variables) if variables is not None \
+            else self.support()
+        total = self.sat_count(names)  # also validates coverage
+        if total == 0:
+            return None
+        order = sorted((self.manager._index[n] for n in names))
+        by_index = {index: self.manager._names[index] for index in order}
+        model: Dict[str, bool] = {}
+        node = self
+        depth = 0
+        while depth < len(order):
+            index = order[depth]
+            if node.is_terminal() or node.var != index:
+                # Free variable at this level: both values satisfiable.
+                model[by_index[index]] = bool(rng.getrandbits(1))
+                depth += 1
+                continue
+            low_count = node.low.sat_count(
+                [by_index[i] for i in order[depth + 1:]]) \
+                if not node.low.is_false() else 0
+            high_count = node.high.sat_count(
+                [by_index[i] for i in order[depth + 1:]]) \
+                if not node.high.is_false() else 0
+            pick_high = rng.randrange(low_count + high_count) >= low_count
+            model[by_index[index]] = pick_high
+            node = node.high if pick_high else node.low
+            depth += 1
+        return model
+
     # -- rendering ---------------------------------------------------
 
     def to_expr_string(self) -> str:

@@ -157,6 +157,13 @@ class ConditionConverter:
         op = expr.op
         if op in ("&&", "||"):
             left = self._boolify(self._convert(expr.operands[0]))
+            # gcc short-circuits #if evaluation: `0 && 1/0` never
+            # touches the dead operand, which may not even be
+            # evaluable (division by zero).
+            if op == "&&" and left.is_false():
+                return _Value(bdd=left)
+            if op == "||" and left.is_true():
+                return _Value(bdd=left)
             right = self._boolify(self._convert(expr.operands[1]))
             return _Value(bdd=(left & right) if op == "&&"
                           else (left | right))

@@ -383,11 +383,33 @@ class Expander:
         ## substitute their raw tokens, others their pre-expansion.
         """
         hide = hide if hide is not None else (head.no_expand | {entry.name})
+        va_param = (entry.va_name or "__VA_ARGS__") if entry.variadic \
+            else None
         fragments: List[TokenTree] = []
         index = 0
         while index < len(body):
             token = body[index]
             nxt = body[index + 1] if index + 1 < len(body) else None
+            # GNU comma deletion: `, ## __VA_ARGS__` drops the comma
+            # when the variadic argument is empty and pastes nothing
+            # (tokens are placed verbatim) when it is not.
+            if va_param is not None and token.is_punctuator(",") and \
+                    nxt is not None and nxt.kind is TokenKind.HASHHASH \
+                    and index + 2 < len(body) \
+                    and body[index + 2].kind is TokenKind.IDENTIFIER \
+                    and body[index + 2].text == va_param \
+                    and va_param in raw:
+                va_tokens = raw[va_param]
+                if va_tokens:
+                    fragments.append([token])
+                    clones = []
+                    for arg_token in va_tokens:
+                        clone = arg_token.copy()
+                        clone.version = head.version
+                        clones.append(clone)
+                    fragments.append(clones)
+                index += 3
+                continue
             if token.kind is TokenKind.HASH and nxt is not None and \
                     nxt.kind is TokenKind.IDENTIFIER and nxt.text in raw:
                 self.stats.stringifications += 1

@@ -163,14 +163,15 @@ class SimplePreprocessor:
             value = self._eval(rest) if self._active() else False
             self._skip_stack.append((bool(value), bool(value), False))
             return
-        if keyword == "ifdef":
-            value = self._active() and rest and \
-                self.is_defined(rest[0].text)
-            self._skip_stack.append((bool(value), bool(value), False))
-            return
-        if keyword == "ifndef":
-            value = self._active() and rest and \
-                not self.is_defined(rest[0].text)
+        if keyword in ("ifdef", "ifndef"):
+            # Like #if/#elif nesting, the name is validated even in
+            # skipped groups (gcc: "no macro name given in #ifdef").
+            if not rest or rest[0].kind is not TokenKind.IDENTIFIER:
+                raise PreprocessorError(
+                    "#ifdef/#ifndef requires a name", line[1])
+            defined = self.is_defined(rest[0].text)
+            value = self._active() and \
+                (defined if keyword == "ifdef" else not defined)
             self._skip_stack.append((bool(value), bool(value), False))
             return
         if keyword == "elif":
@@ -204,10 +205,11 @@ class SimplePreprocessor:
         if keyword == "define":
             self._do_define(rest)
         elif keyword == "undef":
-            if rest:
-                self._version += 1
-                self._events.setdefault(rest[0].text, []).append(
-                    (self._version, None))
+            if not rest or rest[0].kind is not TokenKind.IDENTIFIER:
+                raise PreprocessorError("#undef requires a name")
+            self._version += 1
+            self._events.setdefault(rest[0].text, []).append(
+                (self._version, None))
         elif keyword == "include":
             self._do_include(line[1], rest, filename)
         elif keyword == "error":
@@ -419,11 +421,33 @@ class SimplePreprocessor:
     def _resolve_pastes(self, macro: SimpleMacro, body: List[Token],
                         raw: Dict[str, List[Token]], head: Token,
                         hide: frozenset) -> List[Token]:
+        va_param = (macro.va_name or "__VA_ARGS__") if macro.variadic \
+            else None
         fragments: List[List[Token]] = []
         index = 0
         while index < len(body):
             token = body[index]
             nxt = body[index + 1] if index + 1 < len(body) else None
+            # GNU comma deletion: `, ## __VA_ARGS__` drops the comma
+            # when the variadic argument is empty and pastes nothing
+            # (tokens are placed verbatim) when it is not.
+            if va_param is not None and token.is_punctuator(",") and \
+                    nxt is not None and nxt.kind is TokenKind.HASHHASH \
+                    and index + 2 < len(body) \
+                    and body[index + 2].kind is TokenKind.IDENTIFIER \
+                    and body[index + 2].text == va_param \
+                    and va_param in raw:
+                va_tokens = raw[va_param]
+                if va_tokens:
+                    fragments.append([token])
+                    clones = []
+                    for arg_token in va_tokens:
+                        clone = arg_token.copy()
+                        clone.version = head.version
+                        clones.append(clone)
+                    fragments.append(clones)
+                index += 3
+                continue
             if token.kind is TokenKind.HASH and nxt is not None and \
                     nxt.kind is TokenKind.IDENTIFIER and nxt.text in raw:
                 fragments.append([_stringify(raw[nxt.text], head)])

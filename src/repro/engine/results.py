@@ -30,9 +30,13 @@ STATUS_OK = "ok"
 STATUS_PARSE_FAILED = "parse-failed"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+# Emitted by differential runners (repro.qa): the two pipelines
+# returned different answers for at least one configuration.
+STATUS_DISAGREE = "disagree"
 
 # Statuses the scheduler will resubmit (a parse failure is a property
-# of the source, not of the run — retrying cannot change it).
+# of the source, not of the run — retrying cannot change it; the same
+# goes for a deterministic pipeline disagreement).
 RETRYABLE_STATUSES = (STATUS_ERROR, STATUS_TIMEOUT)
 
 PERCENTILES = (0.5, 0.9, 1.0)
@@ -119,7 +123,8 @@ class CorpusReport:
     def failed(self) -> int:
         return (self.by_status.get(STATUS_PARSE_FAILED, 0)
                 + self.by_status.get(STATUS_ERROR, 0)
-                + self.by_status.get(STATUS_TIMEOUT, 0))
+                + self.by_status.get(STATUS_TIMEOUT, 0)
+                + self.by_status.get(STATUS_DISAGREE, 0))
 
     @property
     def all_ok(self) -> bool:
@@ -196,7 +201,10 @@ def format_report(report: CorpusReport, verbose: bool = False) -> str:
                  f"parse-failed: "
                  f"{report.by_status.get(STATUS_PARSE_FAILED, 0)}  "
                  f"errors: {report.by_status.get(STATUS_ERROR, 0)}  "
-                 f"timeouts: {report.by_status.get(STATUS_TIMEOUT, 0)}")
+                 f"timeouts: {report.by_status.get(STATUS_TIMEOUT, 0)}"
+                 + (f"  disagreements: "
+                    f"{report.by_status[STATUS_DISAGREE]}"
+                    if STATUS_DISAGREE in report.by_status else ""))
     lines.append(f"cache: {report.cache_hits} hit / "
                  f"{report.cache_misses} miss "
                  f"({100.0 * report.cache_hit_rate:.0f}% hits)")

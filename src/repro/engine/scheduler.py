@@ -72,7 +72,9 @@ class CorpusJob:
                  include_paths: Sequence[str] = (),
                  builtins: Optional[Dict[str, str]] = None,
                  extra_definitions: Optional[Dict[str, str]] = None,
-                 files: Optional[Dict[str, str]] = None):
+                 files: Optional[Dict[str, str]] = None,
+                 runner: Union[None, str, Callable] = None,
+                 runner_args: Optional[Dict[str, object]] = None):
         self.units = list(units)
         self.include_paths = list(include_paths)
         self.builtins = builtins
@@ -80,6 +82,16 @@ class CorpusJob:
         # In-memory corpus (DictFileSystem) when set; the real
         # filesystem otherwise.  Both pickle cleanly to workers.
         self.files = files
+        # What to do per unit.  None = the default parse-and-record.
+        # A custom runner — ``runner(state, unit) -> record dict``,
+        # given as a callable or a dotted "pkg.mod:name" string
+        # resolved inside the worker — reuses the engine's pool,
+        # deadline, retry, and metrics machinery for other per-unit
+        # work (differential fuzzing, benchmarking).  Custom records
+        # must carry the standard record keys (see repro.engine
+        # .results); missing unit/attempt/cache/seconds are filled in.
+        self.runner = runner
+        self.runner_args = dict(runner_args or {})
 
     @classmethod
     def from_directory(cls, root: str,
@@ -153,6 +165,10 @@ def _init_worker(job: CorpusJob, optimization: str,
     _STATE["superc"] = superc
     _STATE["timeout"] = timeout_seconds
     _STATE["hook"] = _resolve_hook(fault_hook)
+    _STATE["job"] = job
+    _STATE["runner"] = _resolve_hook(job.runner)
+    _STATE["runner_args"] = job.runner_args
+    _STATE["runner_cache"] = {}
 
 
 def _alarm_handler(signum, frame):
@@ -174,6 +190,15 @@ def _run_unit(task: Tuple[str, int]) -> dict:
     try:
         if hook is not None:
             hook(unit)
+        runner = _STATE.get("runner")
+        if runner is not None:
+            record = dict(runner(_STATE, unit))
+            record.setdefault("unit", unit)
+            record["attempt"] = attempt
+            record.setdefault("cache", "miss")
+            record.setdefault("seconds",
+                              round(time.perf_counter() - start, 6))
+            return record
         text = superc.fs.read(unit)
         if text is None:
             return error_record(unit, STATUS_ERROR,
@@ -210,8 +235,10 @@ class BatchEngine:
         config = self.config
         metrics = metrics or MetricsStream()
         wall_start = time.perf_counter()
-        cache = self._result_cache(job) if config.use_result_cache \
-            else None
+        # The result cache keys on source + include closure, which a
+        # custom runner's outcome may not depend on alone — skip it.
+        cache = self._result_cache(job) \
+            if config.use_result_cache and job.runner is None else None
         metrics.run_start(len(job.units), config.workers,
                           optimization=config.optimization,
                           result_cache=cache is not None)

@@ -161,21 +161,23 @@ class Lexer:
         quote_pos = pos + len(prefix)
         quote = text[quote_pos]
         end = quote_pos + 1
+        terminated = False
         while end < len(text):
             char = text[end]
             if char == "\\":
+                # An escape consumes the next character even if it is
+                # the quote; a backslash at EOF leaves the literal open.
                 end += 2
                 continue
             if char == quote:
                 end += 1
+                terminated = True
                 break
             if char == "\n":
                 break
             end += 1
-        else:
-            end = len(text)
-        if end > len(text) or end == quote_pos + 1 or \
-                text[end - 1] != quote or text[end - 1] == "\n":
+        end = min(end, len(text))
+        if not terminated:
             line, col = self._where(pos)
             kind = "character" if quote == "'" else "string"
             raise LexerError(f"unterminated {kind} constant",

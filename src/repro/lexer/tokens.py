@@ -142,6 +142,11 @@ def _needs_space(left: Token, right: Token) -> bool:
     wordy = (TokenKind.IDENTIFIER, TokenKind.NUMBER, TokenKind.TYPEDEF_NAME)
     if left.kind in wordy and right.kind in wordy:
         return True
+    # An identifier glued onto a literal can form a prefixed literal
+    # (`L` + `"x"` -> the wide string `L"x"`).
+    if left.kind in wordy and right.kind in (TokenKind.STRING,
+                                             TokenKind.CHARACTER):
+        return True
     if not left.text or not right.text:
         return False
     # Avoid creating multi-character punctuators (e.g. '+' '+' -> '++',

@@ -1,0 +1,35 @@
+"""Differential per-configuration checking (repro.qa).
+
+Closes the loop between the configuration-preserving pipeline
+(:mod:`repro.superc`) and the single-configuration baseline
+(:mod:`repro.baselines.gcc_like`): sample concrete configurations,
+project, compare token streams and ASTs, minimize any disagreement,
+and drive the whole thing at corpus scale through
+:mod:`repro.engine`'s scheduler (``superc-fuzz``).
+"""
+
+from repro.qa.configs import (ConfigSampler, assignment_for,
+                              bdd_guided_configs, config_value,
+                              lexical_config_variables, realize_model,
+                              variable_base_names)
+from repro.qa.differential import (CheckOutcome, DifferentialChecker,
+                                   Disagreement, check_lexer_invariant,
+                                   unterminated_literal)
+from repro.qa.harness import (Counterexample, FuzzReport, check_unit,
+                              run_fuzz, run_fuzz_unit,
+                              shrink_disagreement)
+from repro.qa.projector import (ast_signature, diff_tokens, project_ast,
+                                project_tokens, token_texts,
+                                tokens_match)
+from repro.qa.shrinker import ShrinkBudget, shrink
+
+__all__ = [
+    "CheckOutcome", "ConfigSampler", "Counterexample",
+    "DifferentialChecker", "Disagreement", "FuzzReport",
+    "ShrinkBudget", "assignment_for", "ast_signature",
+    "bdd_guided_configs", "check_lexer_invariant", "check_unit",
+    "config_value", "diff_tokens", "lexical_config_variables",
+    "project_ast", "project_tokens", "realize_model", "run_fuzz",
+    "run_fuzz_unit", "shrink", "shrink_disagreement", "token_texts",
+    "tokens_match", "unterminated_literal", "variable_base_names",
+]

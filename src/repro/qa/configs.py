@@ -1,0 +1,257 @@
+"""Concrete-configuration sampling for differential checking.
+
+A *concrete configuration* is a ``-D`` style mapping from macro names
+to definition bodies; a macro absent from the mapping is undefined.
+The configuration-preserving pipeline never enumerates configurations,
+so to cross-check it against the single-configuration oracle we must:
+
+1. discover which macro names a unit's conditionals depend on
+   (lexically, from the directives, and from the BDD variables the
+   preprocessor minted);
+2. translate a concrete configuration into a truth assignment for
+   every BDD variable (``defined:M``, ``value:M``, opaque
+   ``expr:TEXT``) so conditions and ASTs can be projected; and
+3. enumerate the concrete space when it is small, or sample it with a
+   seeded RNG when it is not — optionally guided by the feasible
+   condition's satisfying assignments (:meth:`BDDNode.iter_models`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.cpp.conditions import DEFINED_PREFIX, EXPR_PREFIX, VALUE_PREFIX
+from repro.cpp.expression import (Expr, ExprError, evaluate_int, parse_int,
+                                  parse_expression)
+from repro.lexer import lex, lex_logical_lines
+from repro.lexer.lexer import LexerError
+from repro.lexer.tokens import TokenKind
+
+# Directive keywords whose line mentions configuration macros.
+_CONDITIONAL_KEYWORDS = ("if", "elif", "ifdef", "ifndef")
+
+
+def config_value(defines: Dict[str, str], name: str) -> int:
+    """The integer a surviving identifier evaluates to under a
+    configuration (0 when undefined or non-numeric, per C)."""
+    if name not in defines:
+        return 0
+    body = defines[name].strip()
+    if not body:
+        return 0
+    try:
+        return parse_int(body)
+    except ExprError:
+        return 0
+
+
+def _expr_names(expr: Expr, names: Set[str]) -> None:
+    if expr.kind in ("ident", "defined"):
+        names.add(expr.name)
+    for operand in expr.operands:
+        _expr_names(operand, names)
+
+
+def assignment_for(unit, defines: Dict[str, str]) -> Dict[str, bool]:
+    """Translate a concrete configuration into truth values for every
+    BDD variable the unit's conditions mention.
+
+    ``unit`` is anything with a ``manager`` attribute (a
+    :class:`~repro.cpp.CompilationUnit` or a parse result wrapper).
+    """
+    manager = getattr(unit, "manager", unit)
+    assignment: Dict[str, bool] = {}
+    for var in manager.variable_names:
+        if var.startswith(DEFINED_PREFIX):
+            name = var[len(DEFINED_PREFIX):]
+            assignment[var] = name in defines
+        elif var.startswith(VALUE_PREFIX):
+            name = var[len(VALUE_PREFIX):]
+            assignment[var] = config_value(defines, name) != 0
+        elif var.startswith(EXPR_PREFIX):
+            text = var[len(EXPR_PREFIX):]
+            expr = parse_expression(lex(text, "<expr-var>"))
+            try:
+                value = evaluate_int(
+                    expr,
+                    is_defined=lambda n: n in defines,
+                    value_of=lambda n: config_value(defines, n))
+            except ExprError:
+                # The opaque subexpression is unevaluable under this
+                # configuration (e.g. `8 % M` with M undefined).  In a
+                # directive gcc accepts, short-circuiting made it dead,
+                # so its truth value is a don't-care: pick False.
+                value = 0
+            assignment[var] = value != 0
+    return assignment
+
+
+def variable_base_names(manager) -> List[str]:
+    """The concrete macro names behind a manager's BDD variables."""
+    names: Set[str] = set()
+    for var in manager.variable_names:
+        if var.startswith(DEFINED_PREFIX):
+            names.add(var[len(DEFINED_PREFIX):])
+        elif var.startswith(VALUE_PREFIX):
+            names.add(var[len(VALUE_PREFIX):])
+        elif var.startswith(EXPR_PREFIX):
+            try:
+                expr = parse_expression(
+                    lex(var[len(EXPR_PREFIX):], "<expr-var>"))
+            except (ExprError, LexerError):
+                continue
+            _expr_names(expr, names)
+    return sorted(names)
+
+
+def lexical_config_variables(text: str,
+                             files: Optional[Dict[str, str]] = None,
+                             limit: int = 64) -> List[str]:
+    """Macro names mentioned by conditional directives, found by a
+    lexical scan of the source (and any in-memory include files).
+
+    This works even when the configuration-preserving preprocessor
+    rejects the unit outright — exactly the situation a differential
+    harness must still be able to explore.
+    """
+    names: Set[str] = set()
+    sources = [text]
+    sources.extend((files or {}).values())
+    for source in sources:
+        try:
+            lines = lex_logical_lines(source, "<scan>")
+        except LexerError:
+            continue
+        for line in lines:
+            if len(line) < 2 or line[0].kind is not TokenKind.HASH:
+                continue
+            if line[1].text not in _CONDITIONAL_KEYWORDS:
+                continue
+            for token in line[2:]:
+                if token.kind is TokenKind.IDENTIFIER and \
+                        token.text != "defined":
+                    names.add(token.text)
+        if len(names) >= limit:
+            break
+    return sorted(names)[:limit]
+
+
+class ConfigSampler:
+    """Enumerates or samples concrete configurations for one unit.
+
+    ``variables`` is the concrete macro universe; each configuration
+    chooses, per variable, *undefined* or one of ``values``.  When the
+    full product is within ``limit`` the sampler enumerates it;
+    otherwise it draws seeded random configurations (deduplicated), so
+    runs are reproducible.
+    """
+
+    def __init__(self, variables: Sequence[str],
+                 values: Sequence[str] = ("1",),
+                 seed: int = 0):
+        self.variables = list(dict.fromkeys(variables))
+        self.values = list(values) or ["1"]
+        self.seed = seed
+
+    @property
+    def space_size(self) -> int:
+        return (len(self.values) + 1) ** len(self.variables)
+
+    def enumerate(self) -> Iterator[Dict[str, str]]:
+        """Every concrete configuration, deterministically ordered."""
+        choices: List[Tuple[Optional[str], ...]] = [
+            (None, *self.values) for _ in self.variables]
+        for picks in itertools.product(*choices):
+            yield {name: value
+                   for name, value in zip(self.variables, picks)
+                   if value is not None}
+
+    def sample(self, count: int) -> Iterator[Dict[str, str]]:
+        """``count`` distinct seeded-random configurations."""
+        rng = random.Random(self.seed)
+        seen: Set[Tuple] = set()
+        attempts = 0
+        produced = 0
+        while produced < count and attempts < count * 20:
+            attempts += 1
+            picks = tuple(rng.choice([None, *self.values])
+                          for _ in self.variables)
+            if picks in seen:
+                continue
+            seen.add(picks)
+            produced += 1
+            yield {name: value
+                   for name, value in zip(self.variables, picks)
+                   if value is not None}
+
+    def configs(self, limit: int) -> List[Dict[str, str]]:
+        """At most ``limit`` configurations: exhaustive when the space
+        fits, sampled otherwise.  Always includes the all-undefined
+        and the all-defined("1") corners."""
+        if self.space_size <= limit:
+            return list(self.enumerate())
+        corners = [{}, {name: "1" for name in self.variables}]
+        picked = list(self.sample(max(0, limit - len(corners))))
+        out: List[Dict[str, str]] = []
+        seen: Set[Tuple] = set()
+        for config in corners + picked:
+            key = tuple(sorted(config.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(config)
+        return out[:limit]
+
+
+def realize_model(model: Dict[str, bool]) -> Optional[Dict[str, str]]:
+    """Turn a BDD-variable truth assignment into a concrete
+    configuration, or None when the assignment is unrealizable
+    (e.g. ``value:M`` true while ``defined:M`` false).
+
+    Only ``defined:``/``value:`` variables constrain the result;
+    ``expr:`` variables are rechecked by the caller through
+    :func:`assignment_for`.
+    """
+    config: Dict[str, str] = {}
+    for var, value in model.items():
+        if var.startswith(VALUE_PREFIX) and value:
+            config[var[len(VALUE_PREFIX):]] = "1"
+        elif var.startswith(DEFINED_PREFIX) and value:
+            config.setdefault(var[len(DEFINED_PREFIX):], "1")
+    for var, value in model.items():
+        if var.startswith(DEFINED_PREFIX) and not value and \
+                var[len(DEFINED_PREFIX):] in config:
+            return None
+        if var.startswith(VALUE_PREFIX) and not value and \
+                config_value(config, var[len(VALUE_PREFIX):]) != 0:
+            return None
+    return config
+
+
+def bdd_guided_configs(condition, rng: random.Random,
+                       count: int) -> List[Dict[str, str]]:
+    """Sample satisfying assignments of a presence condition
+    (:meth:`BDDNode.random_model`) and realize the consistent ones as
+    concrete configurations — a second sampling mode that concentrates
+    on configurations actually reaching a condition's branches."""
+    out: List[Dict[str, str]] = []
+    seen: Set[Tuple] = set()
+    support = condition.support()
+    if condition.is_false():
+        return out
+    for _ in range(count * 4):
+        if len(out) >= count:
+            break
+        model = condition.random_model(rng, support)
+        if model is None:
+            break
+        config = realize_model(model)
+        if config is None:
+            continue
+        key = tuple(sorted(config.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(config)
+    return out

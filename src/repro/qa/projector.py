@@ -1,0 +1,84 @@
+"""Projection of configuration-preserving results onto one configuration.
+
+These helpers restrict the token tree and AST produced by the
+configuration-preserving pipeline to a single concrete configuration so
+they can be compared token-for-token (and node-for-node) against the
+single-configuration oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cpp import project as project_tree
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser import ast as ast_mod
+from repro.qa.configs import assignment_for
+
+_LAYOUT_KINDS = (TokenKind.NEWLINE, TokenKind.EOF)
+
+
+def project_tokens(unit, defines: Dict[str, str]) -> List[Token]:
+    """Project a compilation unit's token tree onto one configuration."""
+    return project_tree(unit.tree, assignment_for(unit, defines))
+
+
+def project_ast(result, defines: Dict[str, str]):
+    """Project a SuperC parse's AST onto one configuration, resolving
+    every :class:`StaticChoice` node."""
+    unit = getattr(result, "unit", result)
+    return ast_mod.project(result.ast, assignment_for(unit, defines))
+
+
+def token_texts(tokens: Sequence[Token]) -> List[str]:
+    """Token texts with layout-only kinds (NEWLINE/EOF) dropped."""
+    return [t.text for t in tokens if t.kind not in _LAYOUT_KINDS]
+
+
+def tokens_match(left: Sequence[Token], right: Sequence[Token]) -> bool:
+    """Compare two token streams by (kind, text), ignoring layout."""
+    left = [t for t in left if t.kind not in _LAYOUT_KINDS]
+    right = [t for t in right if t.kind not in _LAYOUT_KINDS]
+    if len(left) != len(right):
+        return False
+    return all(a.same_text(b) for a, b in zip(left, right))
+
+
+def diff_tokens(left: Sequence[Token], right: Sequence[Token]) -> str:
+    """Human-readable first-difference summary of two token streams."""
+    left_texts = token_texts(left)
+    right_texts = token_texts(right)
+    for index, (a, b) in enumerate(zip(left_texts, right_texts)):
+        if a != b:
+            return (f"first difference at #{index}: {a!r} != {b!r}\n"
+                    f"left:  ... "
+                    f"{' '.join(left_texts[max(0, index - 5):index + 5])}\n"
+                    f"right: ... "
+                    f"{' '.join(right_texts[max(0, index - 5):index + 5])}")
+    return (f"length mismatch: {len(left_texts)} vs {len(right_texts)}\n"
+            f"left tail:  {' '.join(left_texts[-8:])}\n"
+            f"right tail: {' '.join(right_texts[-8:])}")
+
+
+def ast_signature(value) -> object:
+    """Structural signature of an AST for cross-parse comparison.
+
+    Tokens compare by stream identity inside the parser, so ``==``
+    fails across independent parses; this reduces both sides to
+    hashable (kind, text) structure.  StaticChoice branches become a
+    frozenset so branch order does not matter.
+    """
+    if value is None:
+        return None
+    if isinstance(value, Token):
+        return ("tok", value.kind.value, value.text)
+    if isinstance(value, ast_mod.Node):
+        return ("node", value.name,
+                tuple(ast_signature(c) for c in value.children))
+    if isinstance(value, ast_mod.StaticChoice):
+        return ("choice",
+                frozenset((c.to_expr_string(), ast_signature(v))
+                          for c, v in value.branches))
+    if isinstance(value, tuple):
+        return ("list", tuple(ast_signature(v) for v in value))
+    return ("other", repr(value))

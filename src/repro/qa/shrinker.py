@@ -1,0 +1,116 @@
+"""Delta-debugging minimizer for disagreeing inputs.
+
+Classic ddmin over logical lines, then a second pass that drops
+individual tokens within lines, both under a fixed predicate-call
+budget so shrinking a pathological counterexample cannot stall a fuzz
+run.  The predicate receives candidate source text and returns True
+when the candidate still exhibits the disagreement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class ShrinkBudget:
+    """Caps the number of predicate evaluations."""
+
+    def __init__(self, limit: int = 400):
+        self.limit = limit
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+def _check(predicate: Callable[[str], bool], text: str,
+           budget: ShrinkBudget) -> bool:
+    if budget.exhausted:
+        return False
+    budget.used += 1
+    try:
+        return bool(predicate(text))
+    except Exception:
+        # A predicate crash means "not the same disagreement".
+        return False
+
+
+def _ddmin(pieces: List[str], joiner: str,
+           predicate: Callable[[str], bool],
+           budget: ShrinkBudget) -> List[str]:
+    """Minimize ``pieces`` such that predicate(join(pieces)) holds."""
+    granularity = 2
+    while len(pieces) >= 2 and not budget.exhausted:
+        chunk = max(1, len(pieces) // granularity)
+        reduced = False
+        start = 0
+        while start < len(pieces):
+            candidate = pieces[:start] + pieces[start + chunk:]
+            if candidate and _check(predicate, joiner.join(candidate),
+                                    budget):
+                pieces = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Retry at the same offset: the next chunk shifted in.
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(pieces):
+                break
+            granularity = min(len(pieces), granularity * 2)
+    return pieces
+
+
+def shrink_lines(text: str, predicate: Callable[[str], bool],
+                 budget: ShrinkBudget) -> str:
+    lines = text.split("\n")
+    lines = _ddmin(lines, "\n", predicate, budget)
+    return "\n".join(lines)
+
+
+def shrink_line_tokens(text: str, predicate: Callable[[str], bool],
+                       budget: ShrinkBudget) -> str:
+    """Drop whitespace-separated chunks within each line.
+
+    Splitting on whitespace (not lexing) keeps the shrinker
+    independent of the lexer under test — it must be able to minimize
+    inputs the lexer mishandles.
+    """
+    lines = text.split("\n")
+    for row, line in enumerate(lines):
+        words = line.split(" ")
+        if len(words) < 2:
+            continue
+        index = 0
+        while index < len(words) and not budget.exhausted:
+            candidate_words = words[:index] + words[index + 1:]
+            candidate_lines = list(lines)
+            candidate_lines[row] = " ".join(candidate_words)
+            if _check(predicate, "\n".join(candidate_lines), budget):
+                words = candidate_words
+                lines = candidate_lines
+            else:
+                index += 1
+    return "\n".join(lines)
+
+
+def shrink(text: str, predicate: Callable[[str], bool],
+           budget: Optional[ShrinkBudget] = None) -> str:
+    """Minimize ``text`` while ``predicate`` keeps holding.
+
+    Returns the smallest reproducer found within budget; if the
+    original input no longer reproduces (flaky predicate) it is
+    returned unchanged.
+    """
+    budget = budget or ShrinkBudget()
+    if not _check(predicate, text, budget):
+        return text
+    current = text
+    while not budget.exhausted:
+        candidate = shrink_lines(current, predicate, budget)
+        candidate = shrink_line_tokens(candidate, predicate, budget)
+        if candidate == current:
+            break
+        current = candidate
+    return current

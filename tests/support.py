@@ -12,11 +12,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cpp import (DictFileSystem, Preprocessor, SimplePreprocessor,
                        project)
-from repro.cpp.conditions import DEFINED_PREFIX, EXPR_PREFIX, VALUE_PREFIX
-from repro.cpp.expression import (ExprError, evaluate_int, parse_int,
-                                  parse_expression)
-from repro.lexer import lex
 from repro.lexer.tokens import Token, TokenKind
+# The differential-oracle helpers were promoted into repro.qa (they
+# now also power the superc-fuzz harness); tests import them from
+# here for backward compatibility.
+from repro.qa import (assignment_for, ast_signature, config_value,
+                      tokens_match as token_texts_match)
+from repro.qa.projector import diff_tokens as diff_token_streams
 
 # A tiny, fixed builtin set for tests (deterministic, minimal noise).
 TEST_BUILTINS = {"__STDC__": "1"}
@@ -54,89 +56,12 @@ def texts(tokens) -> List[str]:
             if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
 
 
-def config_value(defines: Dict[str, str], name: str) -> int:
-    """The integer value a bare identifier evaluates to under a
-    configuration (0 when undefined or non-numeric)."""
-    if name not in defines:
-        return 0
-    body = defines[name].strip()
-    if not body:
-        return 0
-    try:
-        return parse_int(body)
-    except ExprError:
-        return 0
-
-
-def assignment_for(unit, defines: Dict[str, str]) -> Dict[str, bool]:
-    """Translate a concrete configuration into truth values for every
-    BDD variable the unit's conditions mention."""
-    assignment: Dict[str, bool] = {}
-    for var in unit.manager.variable_names:
-        if var.startswith(DEFINED_PREFIX):
-            name = var[len(DEFINED_PREFIX):]
-            assignment[var] = name in defines
-        elif var.startswith(VALUE_PREFIX):
-            name = var[len(VALUE_PREFIX):]
-            assignment[var] = config_value(defines, name) != 0
-        elif var.startswith(EXPR_PREFIX):
-            text = var[len(EXPR_PREFIX):]
-            expr = parse_expression(lex(text, "<expr-var>"))
-            value = evaluate_int(
-                expr,
-                is_defined=lambda n: n in defines,
-                value_of=lambda n: config_value(defines, n))
-            assignment[var] = value != 0
-    return assignment
-
-
 def project_unit(unit, defines: Dict[str, str]) -> List[Token]:
     """Project a compilation unit onto one concrete configuration."""
     return project(unit.tree, assignment_for(unit, defines))
 
 
-def token_texts_match(left: Sequence[Token],
-                      right: Sequence[Token]) -> bool:
-    """Compare two token streams by (kind, text)."""
-    left = [t for t in left
-            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
-    right = [t for t in right
-             if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
-    if len(left) != len(right):
-        return False
-    return all(a.same_text(b) for a, b in zip(left, right))
-
-
-def ast_signature(value) -> object:
-    """Structural signature of an AST for cross-parse comparison
-    (tokens compare by identity, so `==` fails across parses)."""
-    from repro.parser.ast import Node, StaticChoice
-    if value is None:
-        return None
-    if isinstance(value, Token):
-        return ("tok", value.kind.value, value.text)
-    if isinstance(value, Node):
-        return ("node", value.name,
-                tuple(ast_signature(c) for c in value.children))
-    if isinstance(value, StaticChoice):
-        return ("choice",
-                frozenset((c.to_expr_string(), ast_signature(v))
-                          for c, v in value.branches))
-    if isinstance(value, tuple):
-        return ("list", tuple(ast_signature(v) for v in value))
-    return ("other", repr(value))
-
-
-def diff_token_streams(left: Sequence[Token],
-                       right: Sequence[Token]) -> str:
-    """Human-readable diff for assertion messages."""
-    left_texts = [t.text for t in left]
-    right_texts = [t.text for t in right]
-    for index, (a, b) in enumerate(zip(left_texts, right_texts)):
-        if a != b:
-            return (f"first difference at #{index}: {a!r} != {b!r}\n"
-                    f"left:  ... {' '.join(left_texts[max(0, index-5):index+5])}\n"
-                    f"right: ... {' '.join(right_texts[max(0, index-5):index+5])}")
-    return (f"length mismatch: {len(left_texts)} vs {len(right_texts)}\n"
-            f"left tail:  {' '.join(left_texts[-8:])}\n"
-            f"right tail: {' '.join(right_texts[-8:])}")
+__all__ = ["TEST_BUILTINS", "assignment_for", "ast_signature",
+           "config_value", "diff_token_streams", "preprocess",
+           "project_unit", "simple_preprocess", "texts",
+           "token_texts_match"]

@@ -1,0 +1,206 @@
+"""Regression tests for the verified preprocessor/lexer bugfixes.
+
+Each test pins a bug that the differential harness (repro.qa) can
+rediscover if reintroduced:
+
+1. the lexer accepted a literal whose "closing" quote was escaped at
+   end of input;
+2. GNU comma deletion (``, ## __VA_ARGS__``) was not implemented in
+   either preprocessor;
+3. ``#if`` folding of ``&&``/``||``/``?:`` evaluated dead operands in
+   the SuperC condition converter (``#if 0 && 1/0`` raised);
+4. the single-configuration oracle accepted nameless
+   ``#ifdef``/``#undef`` directives the config-preserving pipeline
+   rejects (found *by* the differential harness's shrinker).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpp import PreprocessorError
+from repro.lexer import Lexer, LexerError, lex
+from repro.lexer.tokens import TokenKind
+
+from tests.support import preprocess, simple_preprocess, texts
+
+
+# ---------------------------------------------------------------------------
+# 1. escaped-quote-at-EOF literals
+# ---------------------------------------------------------------------------
+
+class TestUnterminatedLiterals:
+    @pytest.mark.parametrize("source", [
+        '"abc\\"',            # escaped closing quote, then EOF
+        "'x\\'",              # same for a character constant
+        '"abc\\',             # trailing backslash at EOF
+        'L"wide\\"',          # wide string variant
+        '"abc\\" more',       # escaped quote, content, then EOF
+        '"abc\nint x;',       # newline terminates the literal scan
+        "'ab\n'",             # newline inside a char constant
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(LexerError) as err:
+            lex(source)
+        assert "unterminated" in str(err.value)
+
+    @pytest.mark.parametrize("source,kind", [
+        ('"abc\\" d"', TokenKind.STRING),    # escaped quote inside
+        ('"tail\\\\"', TokenKind.STRING),    # escaped backslash, closed
+        ("'\\''", TokenKind.CHARACTER),      # escaped quote char
+        ('L"w\\"x"', TokenKind.STRING),      # wide with escaped quote
+        ('""', TokenKind.STRING),            # empty string
+    ])
+    def test_accepted(self, source, kind):
+        tokens = lex(source)
+        assert tokens[0].kind is kind
+        assert tokens[0].text == source
+
+    def test_error_position_is_literal_start(self):
+        with pytest.raises(LexerError) as err:
+            lex('int x;\n"oops\\"')
+        assert err.value.line == 2
+
+    def test_backslash_newline_still_continues(self):
+        # A literal continued over a spliced line is fine.
+        tokens = lex('"ab\\\ncd"')
+        assert tokens[0].kind is TokenKind.STRING
+
+
+# ---------------------------------------------------------------------------
+# 2. GNU comma deletion
+# ---------------------------------------------------------------------------
+
+LOG_SOURCE = """\
+#define LOG(fmt, ...) printk(fmt, ## __VA_ARGS__)
+LOG("a")
+LOG("b", 1)
+LOG("c", 1, 2)
+"""
+
+NAMED_SOURCE = """\
+#define TRACE(args...) sink(0, ## args)
+TRACE()
+TRACE(1)
+TRACE(1, 2)
+"""
+
+COMMA_EXPECTED = ["printk", "(", '"a"', ")",
+                  "printk", "(", '"b"', ",", "1", ")",
+                  "printk", "(", '"c"', ",", "1", ",", "2", ")"]
+
+NAMED_EXPECTED = ["sink", "(", "0", ")",
+                  "sink", "(", "0", ",", "1", ")",
+                  "sink", "(", "0", ",", "1", ",", "2", ")"]
+
+
+class TestCommaDeletion:
+    def test_config_preserving(self):
+        unit = preprocess(LOG_SOURCE)
+        from repro.cpp import project
+        assert texts(project(unit.tree, {})) == COMMA_EXPECTED
+
+    def test_oracle(self):
+        assert texts(simple_preprocess(LOG_SOURCE)) == COMMA_EXPECTED
+
+    def test_named_variadic_config_preserving(self):
+        unit = preprocess(NAMED_SOURCE)
+        from repro.cpp import project
+        assert texts(project(unit.tree, {})) == NAMED_EXPECTED
+
+    def test_named_variadic_oracle(self):
+        assert texts(simple_preprocess(NAMED_SOURCE)) == NAMED_EXPECTED
+
+    def test_trailing_comma_call_keeps_comma_deleted(self):
+        # `LOG("x",)` passes one empty vararg: still deleted.
+        source = ('#define LOG(fmt, ...) p(fmt, ## __VA_ARGS__)\n'
+                  'LOG("x",)\n')
+        assert texts(simple_preprocess(source)) == \
+            ["p", "(", '"x"', ")"]
+
+    def test_plain_paste_still_works(self):
+        source = "#define CAT(a, b) a ## b\nCAT(x, 1)\n"
+        assert texts(simple_preprocess(source)) == ["x1"]
+
+    def test_non_variadic_comma_paste_still_pastes(self):
+        # `, ## x` in a NON-variadic macro is an ordinary paste of
+        # ',' with the argument: ',' '##' 'y' -> ',y' is not a valid
+        # token, so this must still error.
+        source = "#define BAD(x) f(1 , ## x)\nBAD(y)\n"
+        with pytest.raises(PreprocessorError):
+            simple_preprocess(source)
+
+
+# ---------------------------------------------------------------------------
+# 3. short-circuit #if evaluation
+# ---------------------------------------------------------------------------
+
+SHORT_CIRCUIT_CASES = [
+    ("#if 0 && 1/0\nint a;\n#else\nint b;\n#endif\n", ["int", "b", ";"]),
+    ("#if 1 || 1/0\nint a;\n#else\nint b;\n#endif\n", ["int", "a", ";"]),
+    ("#if 0 && 1%0\nint a;\n#else\nint b;\n#endif\n", ["int", "b", ";"]),
+    ("#if 1 ? 2 : 1/0\nint a;\n#else\nint b;\n#endif\n",
+     ["int", "a", ";"]),
+    ("#if 0 ? 1/0 : 3\nint a;\n#else\nint b;\n#endif\n",
+     ["int", "a", ";"]),
+    # The guard that matters in practice: defined() protecting a
+    # division by a macro that may be absent (hence 0).
+    ("#if defined(M) && 8 / M\nint a;\n#else\nint b;\n#endif\n",
+     ["int", "b", ";"]),
+]
+
+
+class TestShortCircuitIf:
+    @pytest.mark.parametrize("source,expected", SHORT_CIRCUIT_CASES)
+    def test_config_preserving(self, source, expected):
+        unit = preprocess(source)
+        from repro.cpp import project
+        assignment = {var: False for var in unit.manager.variable_names}
+        assert texts(project(unit.tree, assignment)) == expected
+
+    @pytest.mark.parametrize("source,expected", SHORT_CIRCUIT_CASES)
+    def test_oracle(self, source, expected):
+        assert texts(simple_preprocess(source)) == expected
+
+    def test_unguarded_division_still_errors(self):
+        with pytest.raises(Exception):
+            simple_preprocess("#if 1/0\nint a;\n#endif\n")
+
+
+# ---------------------------------------------------------------------------
+# 4. oracle directive validation (found by the fuzz shrinker)
+# ---------------------------------------------------------------------------
+
+class TestOracleDirectiveValidation:
+    @pytest.mark.parametrize("source", [
+        "#ifdef\n#endif\n",
+        "#ifndef\n#endif\n",
+        "#if 0\n#ifdef\n#endif\n#endif\n",   # even in skipped groups
+        "#undef\n",
+        "#undef 3\n",
+    ])
+    def test_oracle_rejects_malformed(self, source):
+        with pytest.raises(PreprocessorError):
+            simple_preprocess(source)
+
+    @pytest.mark.parametrize("source", [
+        "#ifdef\n#endif\n",
+        "#undef\n",
+    ])
+    def test_config_preserving_rejects_malformed(self, source):
+        with pytest.raises(PreprocessorError):
+            preprocess(source)
+
+
+# ---------------------------------------------------------------------------
+# rendering: identifier + literal must not glue into a prefixed literal
+# ---------------------------------------------------------------------------
+
+class TestRenderGlue:
+    def test_identifier_string_needs_space(self):
+        from repro.lexer.tokens import render_tokens
+        tokens = [t.with_layout("") for t in lex('L "x"')
+                  if t.kind is not TokenKind.EOF]
+        rendered = render_tokens(tokens, with_layout=False)
+        assert [t.text for t in lex(rendered)
+                if t.kind is not TokenKind.EOF] == ["L", '"x"']

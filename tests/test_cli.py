@@ -208,3 +208,47 @@ class TestReportCli:
     def test_empty_tree(self, tmp_path, capsys):
         code = report_cli.main([str(tmp_path)])
         assert code == 2
+
+
+class TestFuzzCli:
+    def test_clean_run(self, capsys):
+        from repro.tools import fuzz_cli
+        code = fuzz_cli.main(["--units", "3", "--seed", "0",
+                              "--timeout", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "units: 3  ok: 3" in out
+
+    def test_json_output(self, capsys):
+        from repro.tools import fuzz_cli
+        code = fuzz_cli.main(["--units", "2", "--seed", "5",
+                              "--timeout", "60", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["units"] == 2
+        assert payload["counterexamples"] == []
+
+    def test_metrics_stream(self, tmp_path, capsys):
+        from repro.tools import fuzz_cli
+        path = tmp_path / "fuzz.jsonl"
+        code = fuzz_cli.main(["--units", "2", "--seed", "0",
+                              "--timeout", "60",
+                              "--metrics", str(path)])
+        assert code == 0
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        kinds = {event["event"] for event in events}
+        assert {"run-start", "unit", "run-end"} <= kinds
+
+    def test_bad_weight(self, capsys):
+        from repro.tools import fuzz_cli
+        with pytest.raises(SystemExit):
+            fuzz_cli.main(["--weight", "nonsense=3"])
+
+    def test_weight_override(self, capsys):
+        from repro.tools import fuzz_cli
+        code = fuzz_cli.main(["--units", "2", "--seed", "1",
+                              "--timeout", "60", "--no-shrink",
+                              "--weight", "variadic=10",
+                              "--weight", "plain_function=0"])
+        assert code == 0

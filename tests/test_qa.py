@@ -1,0 +1,362 @@
+"""Tests for the repro.qa differential-checking subsystem."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.corpus.fuzz import FuzzSpec, generate_fuzz_unit
+from repro.engine import STATUS_DISAGREE, STATUS_OK
+from repro.engine.scheduler import BatchEngine, CorpusJob, EngineConfig
+from repro.qa import (ConfigSampler, DifferentialChecker, ShrinkBudget,
+                      check_lexer_invariant, realize_model, run_fuzz,
+                      shrink, unterminated_literal)
+from repro.qa.harness import check_unit, shrink_disagreement
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return DifferentialChecker(files={}, include_paths=(),
+                               max_configs=8)
+
+
+# ---------------------------------------------------------------------------
+# BDD sat-assignment iteration
+# ---------------------------------------------------------------------------
+
+class TestBDDModels:
+    def test_iter_models_total(self):
+        manager = BDDManager()
+        a, b, c = (manager.var(n) for n in "abc")
+        node = (a & ~b) | c
+        models = list(node.iter_models(["a", "b", "c"]))
+        assert len(models) == 5
+        assert all(set(m) == {"a", "b", "c"} for m in models)
+        assert all(node.evaluate(m) for m in models)
+
+    def test_iter_models_false(self):
+        manager = BDDManager()
+        assert list(manager.false.iter_models([])) == []
+
+    def test_iter_models_requires_support(self):
+        manager = BDDManager()
+        a = manager.var("a")
+        with pytest.raises(ValueError):
+            list(a.iter_models(["b"]))
+
+    def test_random_model_satisfies(self):
+        manager = BDDManager()
+        a, b, c = (manager.var(n) for n in "abc")
+        node = (a | b) & ~c
+        rng = random.Random(7)
+        for _ in range(50):
+            model = node.random_model(rng)
+            assert node.evaluate(model)
+
+    def test_random_model_unsat(self):
+        manager = BDDManager()
+        a = manager.var("a")
+        assert (a & ~a).random_model(random.Random(0)) is None
+
+    def test_random_model_deterministic(self):
+        manager = BDDManager()
+        node = manager.var("x") | manager.var("y")
+        first = node.random_model(random.Random(3), ["x", "y"])
+        second = node.random_model(random.Random(3), ["x", "y"])
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# configuration sampling
+# ---------------------------------------------------------------------------
+
+class TestConfigSampler:
+    def test_enumerates_small_spaces(self):
+        sampler = ConfigSampler(["A", "B"])
+        configs = sampler.configs(10)
+        assert len(configs) == 4  # (undef, "1")^2
+        assert {} in configs
+        assert {"A": "1", "B": "1"} in configs
+
+    def test_sampling_is_seeded(self):
+        sampler = ConfigSampler([f"V{i}" for i in range(10)], seed=5)
+        assert sampler.space_size == 2 ** 10
+        first = sampler.configs(16)
+        second = ConfigSampler([f"V{i}" for i in range(10)],
+                               seed=5).configs(16)
+        assert first == second
+        assert len(first) == 16
+        assert {} in first  # the all-undefined corner
+
+    def test_realize_model(self):
+        model = {"defined:A": True, "value:A": True, "defined:B": False}
+        assert realize_model(model) == {"A": "1"}
+        # value true while defined false is unrealizable
+        assert realize_model({"defined:A": False,
+                              "value:A": True}) is None
+
+
+# ---------------------------------------------------------------------------
+# the independent literal invariant
+# ---------------------------------------------------------------------------
+
+class TestLexerInvariant:
+    @pytest.mark.parametrize("text", [
+        '"abc\\"', "'x\\'", '"abc', '"abc\nint x;'])
+    def test_scan_flags_open_literals(self, text):
+        assert unterminated_literal(text) is not None
+
+    @pytest.mark.parametrize("text", [
+        '"abc"', '"a\\"b"', "int x = 'q';", '// "open\n',
+        '/* "open */', '"ab\\\ncd"'])
+    def test_scan_accepts_closed_literals(self, text):
+        assert unterminated_literal(text) is None
+
+    def test_agreement_with_fixed_lexer(self):
+        # The fixed lexer rejects what the scan rejects: no violation.
+        assert check_lexer_invariant('"abc\\"') is None
+        assert check_lexer_invariant('"abc"') is None
+
+    def test_violation_when_lexer_is_lax(self, monkeypatch, checker):
+        import repro.qa.differential as differential
+        monkeypatch.setattr(differential, "lex",
+                            lambda text, filename="<input>": [])
+        outcome = checker.check_source('const char *s = "bad\\"',
+                                       "inv.c")
+        assert any(d.kind == "invariant"
+                   for d in outcome.disagreements)
+
+
+# ---------------------------------------------------------------------------
+# the ddmin shrinker
+# ---------------------------------------------------------------------------
+
+class TestShrinker:
+    def test_shrinks_to_needle_lines(self):
+        lines = [f"filler_{i}" for i in range(30)]
+        lines.insert(11, "NEEDLE one")
+        lines.insert(23, "NEEDLE two")
+        text = "\n".join(lines)
+        result = shrink(text, lambda t: t.count("NEEDLE") >= 2)
+        assert result == "NEEDLE\nNEEDLE"
+
+    def test_shrinks_within_lines(self):
+        text = "keep NEEDLE junk junk junk"
+        result = shrink(text, lambda t: "NEEDLE" in t)
+        assert result == "NEEDLE"
+
+    def test_budget_caps_predicate_calls(self):
+        budget = ShrinkBudget(5)
+        calls = []
+        shrink("\n".join(f"l{i}" for i in range(100)),
+               lambda t: bool(calls.append(1)) or True, budget)
+        assert len(calls) <= 5
+
+    def test_non_reproducing_input_unchanged(self):
+        assert shrink("abc", lambda t: False) == "abc"
+
+    def test_crashing_predicate_counts_as_no(self):
+        def explode(text):
+            if "b" not in text:
+                raise RuntimeError("boom")
+            return "a" in text
+        assert "a" in shrink("a\nb\nc", explode)
+
+
+# ---------------------------------------------------------------------------
+# differential checking of generated units
+# ---------------------------------------------------------------------------
+
+class TestDifferentialChecker:
+    def test_seeded_units_agree(self, checker):
+        for seed in range(6):
+            unit = generate_fuzz_unit(seed)
+            outcome = check_unit(checker, unit)
+            assert outcome.ok, outcome.disagreements
+            assert outcome.configs_checked > 0
+
+    def test_generation_is_deterministic(self):
+        assert generate_fuzz_unit(3).text == generate_fuzz_unit(3).text
+        assert generate_fuzz_unit(3).text != generate_fuzz_unit(4).text
+
+    def test_weights_select_features(self):
+        spec = FuzzSpec(items=6, weights={
+            "variadic": 1, "paste_conditional": 0, "guarded_arith": 0,
+            "escaped_literal": 0, "conditional_typedef": 0,
+            "conditional_function": 0, "plain_function": 0})
+        text = generate_fuzz_unit(0, spec).text
+        assert "__VA_ARGS__" in text or "args" in text
+        assert "GLUE" not in text
+
+    def test_catches_conditional_macro_divergence(self, checker):
+        # A handwritten unit where the pipelines MUST agree; sabotage
+        # the comparison by checking a wrong config instead.
+        source = ("#ifdef A\n#define V 1\n#else\n#define V 2\n#endif\n"
+                  "int x = V;\n")
+        outcome = checker.check_source(source, "unit.c",
+                                       configs=[{}, {"A": "1"}])
+        assert outcome.ok
+
+
+VARIADIC_ONLY = FuzzSpec(weights={
+    "variadic": 10, "paste_conditional": 0, "guarded_arith": 0,
+    "escaped_literal": 0, "conditional_typedef": 0,
+    "conditional_function": 0, "plain_function": 0})
+
+GUARD_ONLY = FuzzSpec(weights={
+    "variadic": 0, "paste_conditional": 0, "guarded_arith": 10,
+    "escaped_literal": 0, "conditional_typedef": 0,
+    "conditional_function": 0, "plain_function": 0})
+
+
+def _fake_non_variadic(entry):
+    class FakeEntry:
+        def __getattr__(self, name):
+            if name == "variadic":
+                return False
+            return getattr(entry, name)
+    return FakeEntry()
+
+
+def _find_disagreement(checker, spec, seeds=12):
+    for seed in range(seeds):
+        unit = generate_fuzz_unit(seed, spec)
+        outcome = check_unit(checker, unit)
+        if not outcome.ok:
+            return unit, outcome
+    return None, None
+
+
+class TestReintroducedBugs:
+    """Reintroducing each fixed bug must produce a counterexample."""
+
+    def test_comma_deletion_in_one_pipeline(self, monkeypatch, checker):
+        import repro.cpp.expansion as expansion
+        orig = expansion.Expander._paste_and_flatten
+        monkeypatch.setattr(
+            expansion.Expander, "_paste_and_flatten",
+            lambda self, entry, *a, **k:
+                orig(self, _fake_non_variadic(entry), *a, **k))
+        unit, outcome = _find_disagreement(checker, VARIADIC_ONLY)
+        assert unit is not None
+        kinds = {d.kind for d in outcome.disagreements}
+        assert kinds & {"error-agreement", "tokens"}
+        # ... and the counterexample shrinks to a small reproducer.
+        first = outcome.disagreements[0]
+        shrunk, _calls = shrink_disagreement(
+            checker, unit.text, first.kind, unit.seed,
+            ShrinkBudget(150), detail=first.detail)
+        assert len(shrunk.splitlines()) <= 8
+        assert "##" in shrunk
+
+    def test_comma_deletion_in_both_pipelines(self, monkeypatch,
+                                              checker):
+        import repro.cpp.expansion as expansion
+        import repro.cpp.simple as simple
+        orig_e = expansion.Expander._paste_and_flatten
+        orig_s = simple.SimplePreprocessor._resolve_pastes
+        monkeypatch.setattr(
+            expansion.Expander, "_paste_and_flatten",
+            lambda self, entry, *a, **k:
+                orig_e(self, _fake_non_variadic(entry), *a, **k))
+        monkeypatch.setattr(
+            simple.SimplePreprocessor, "_resolve_pastes",
+            lambda self, macro, *a, **k:
+                orig_s(self, _fake_non_variadic(macro), *a, **k))
+        unit, outcome = _find_disagreement(checker, VARIADIC_ONLY)
+        # Token streams agree, but expect_parseable flags the unit.
+        assert unit is not None
+        assert any(d.kind == "unparseable"
+                   for d in outcome.disagreements)
+
+    def test_non_short_circuit_conversion(self, monkeypatch, checker):
+        from repro.cpp import conditions
+        from repro.cpp.conditions import _Value
+        orig = conditions.ConditionConverter._binary
+
+        def buggy(self, expr):
+            if expr.op in ("&&", "||"):
+                left = self._boolify(self._convert(expr.operands[0]))
+                right = self._boolify(self._convert(expr.operands[1]))
+                return _Value(bdd=(left & right) if expr.op == "&&"
+                              else (left | right))
+            return orig(self, expr)
+
+        monkeypatch.setattr(conditions.ConditionConverter, "_binary",
+                            buggy)
+        unit, outcome = _find_disagreement(checker, GUARD_ONLY)
+        assert unit is not None
+        assert any(d.kind == "error-agreement"
+                   for d in outcome.disagreements)
+
+
+# ---------------------------------------------------------------------------
+# engine integration (custom runner) and the harness
+# ---------------------------------------------------------------------------
+
+def _toy_runner(state, unit):
+    return {"status": STATUS_OK, "note": unit,
+            "timing": {"lex": 0.0, "preprocess": 0.0, "parse": 0.0},
+            "subparsers": {"max": 0, "forks": 0, "merges": 0},
+            "preprocessor": {}, "failures": [], "error": None}
+
+
+class TestEngineRunner:
+    def test_custom_runner_records(self):
+        job = CorpusJob(["u1", "u2"], files={}, runner=_toy_runner)
+        report = BatchEngine(EngineConfig(
+            use_result_cache=False)).run(job)
+        assert report.all_ok
+        assert sorted(r["note"] for r in report.records) == ["u1", "u2"]
+        assert all(r["attempt"] == 1 for r in report.records)
+
+    def test_dotted_runner_resolution(self):
+        from repro.engine.scheduler import _resolve_hook
+        resolved = _resolve_hook("repro.qa.harness:run_fuzz_unit")
+        from repro.qa.harness import run_fuzz_unit
+        assert resolved is run_fuzz_unit
+
+
+class TestHarness:
+    def test_run_fuzz_smoke(self):
+        outcome = run_fuzz(units=4, seed=0, workers=1,
+                           timeout_seconds=30.0)
+        assert outcome.clean
+        assert outcome.report.by_status == {STATUS_OK: 4}
+        assert not outcome.counterexamples
+
+    def test_run_fuzz_reports_counterexample(self, monkeypatch):
+        import repro.cpp.expansion as expansion
+        orig = expansion.Expander._paste_and_flatten
+        monkeypatch.setattr(
+            expansion.Expander, "_paste_and_flatten",
+            lambda self, entry, *a, **k:
+                orig(self, _fake_non_variadic(entry), *a, **k))
+        outcome = run_fuzz(units=6, seed=0, spec=VARIADIC_ONLY,
+                           workers=1, timeout_seconds=30.0,
+                           shrink_budget=120)
+        assert not outcome.clean
+        assert STATUS_DISAGREE in outcome.report.by_status
+        assert outcome.counterexamples
+        example = outcome.counterexamples[0]
+        assert example.shrunk
+        assert len(example.shrunk.splitlines()) <= \
+            len(example.original.splitlines())
+
+    def test_metrics_include_counterexample_events(self, monkeypatch):
+        import repro.cpp.expansion as expansion
+        from repro.engine import MetricsStream
+        orig = expansion.Expander._paste_and_flatten
+        monkeypatch.setattr(
+            expansion.Expander, "_paste_and_flatten",
+            lambda self, entry, *a, **k:
+                orig(self, _fake_non_variadic(entry), *a, **k))
+        metrics = MetricsStream(keep_events=True)
+        run_fuzz(units=3, seed=0, spec=VARIADIC_ONLY, workers=1,
+                 timeout_seconds=30.0, shrink_budget=60,
+                 metrics=metrics)
+        events = {e["event"] for e in metrics.events}
+        assert "counterexample" in events
+        assert {"run-start", "unit", "run-end"} <= events
