@@ -2,7 +2,7 @@
 # without installation.
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke-batch fuzz-smoke bench clean-cache
+.PHONY: test smoke-batch fuzz-smoke robustness-smoke bench clean-cache
 
 # Tier 1: the full unit-test suite (must stay green).
 test:
@@ -24,6 +24,15 @@ smoke-batch:
 # and exits nonzero.
 fuzz-smoke:
 	$(PY) -m repro.tools.fuzz_cli --seed 0 --units 50 --timeout 60
+
+# Tier 2: degradation smoke — run the fault-injection suite, then fuzz
+# with the guarded-failure features (conditional #error / missing
+# include) cranked up.  Confined failures must come back "degraded"
+# with error agreement intact — never "crashed" — so the run exits 0.
+robustness-smoke:
+	$(PY) -m pytest -x -q tests/test_robustness.py
+	$(PY) -m repro.tools.fuzz_cli --seed 0 --units 12 --timeout 60 \
+	    --weight guarded_error=4 --weight guarded_missing_include=3
 
 # Full benchmark suite (Tables 2-3, Figures 8-10, scaling + speedup).
 bench:

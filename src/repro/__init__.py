@@ -33,17 +33,25 @@ from repro.bdd import BDDManager
 from repro.cpp import (CompilationUnit, Conditional, DictFileSystem,
                        Preprocessor, PreprocessorError,
                        RealFileSystem, SimplePreprocessor)
+from repro.errors import (Diagnostic, ResourceBudget, SEVERITY_CONFIG,
+                          SEVERITY_FATAL, SEVERITY_WARNING)
 from repro.parser import Node, ParseError, StaticChoice
 from repro.parser.fmlr import (FMLROptions, FMLRParser,
                                OPTIMIZATION_LEVELS, SubparserExplosion)
-from repro.superc import SuperC, SuperCResult, Timing, parse_c
+from repro.superc import (STATUS_DEGRADED, STATUS_OK,
+                          STATUS_PARSE_FAILED, SuperC, SuperCResult,
+                          Timing, parse_c)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "BDDManager", "CompilationUnit", "Conditional", "DictFileSystem",
+    "BDDManager", "CompilationUnit", "Conditional", "Diagnostic",
+    "DictFileSystem",
     "FMLROptions", "FMLRParser", "Node", "OPTIMIZATION_LEVELS",
     "ParseError", "Preprocessor", "PreprocessorError",
-    "RealFileSystem", "SimplePreprocessor", "StaticChoice", "SuperC",
+    "RealFileSystem", "ResourceBudget", "SEVERITY_CONFIG",
+    "SEVERITY_FATAL", "SEVERITY_WARNING", "STATUS_DEGRADED",
+    "STATUS_OK", "STATUS_PARSE_FAILED",
+    "SimplePreprocessor", "StaticChoice", "SuperC",
     "SuperCResult", "SubparserExplosion", "Timing", "parse_c",
 ]

@@ -40,16 +40,22 @@ class FuzzSpec:
 
     FEATURES = ("paste_conditional", "variadic", "guarded_arith",
                 "escaped_literal", "conditional_typedef",
-                "conditional_function", "plain_function")
+                "conditional_function", "plain_function",
+                "guarded_error", "guarded_missing_include")
 
     def __init__(self, variables: int = 3, items: int = 8,
                  weights: Optional[Dict[str, int]] = None):
         self.variables = max(1, variables)
         self.items = max(1, items)
+        # The guarded-failure features (a conditional #error / missing
+        # include) are weight 0 by default: they make units that are
+        # deliberately *invalid* in some configurations, which the
+        # robustness smoke run opts into to exercise confinement.
         base = {"paste_conditional": 3, "variadic": 3,
                 "guarded_arith": 2, "escaped_literal": 2,
                 "conditional_typedef": 1, "conditional_function": 2,
-                "plain_function": 1}
+                "plain_function": 1, "guarded_error": 0,
+                "guarded_missing_include": 0}
         if weights:
             base.update(weights)
         self.weights = {name: base.get(name, 0)
@@ -269,6 +275,35 @@ def _plain_function(rng, variables, counter, types) -> List[str]:
     ]
 
 
+def _guarded_error(rng, variables, counter, types) -> List[str]:
+    """A conditional ``#error`` — invalid in the guarded
+    configurations, clean everywhere else.  Exercises error
+    confinement (the branch must come back pruned, not crashed)."""
+    n = next(counter)
+    var = _var(rng, variables)
+    return [
+        f"#ifdef {var}",
+        f'#error "fuzz: configuration {var} unsupported ({n})"',
+        "#else",
+        f"static int safe_{n} = {n};",
+        "#endif",
+    ]
+
+
+def _guarded_missing_include(rng, variables, counter, types) -> List[str]:
+    """A conditional ``#include`` of a header that does not exist —
+    the include failure must be confined to the guard's condition."""
+    n = next(counter)
+    var = _var(rng, variables)
+    return [
+        f"#ifdef {var}",
+        f'#include "no_such_header_{n}.h"',
+        "#else",
+        f"static int fallback_{n} = {n};",
+        "#endif",
+    ]
+
+
 _BUILDERS = {
     "paste_conditional": _paste_conditional,
     "variadic": _variadic,
@@ -277,4 +312,6 @@ _BUILDERS = {
     "conditional_typedef": _conditional_typedef,
     "conditional_function": _conditional_function,
     "plain_function": _plain_function,
+    "guarded_error": _guarded_error,
+    "guarded_missing_include": _guarded_missing_include,
 }

@@ -9,14 +9,23 @@ from repro.lexer.tokens import Token
 
 class PreprocessorError(Exception):
     """A hard preprocessing error (malformed directive, bad paste,
-    unterminated invocation, or a ``#error`` outside conditionals)."""
+    unterminated invocation, or a ``#error`` outside conditionals).
 
-    def __init__(self, message: str, token: Optional[Token] = None):
+    Raised only for TRUE-condition failures; failures under a narrower
+    presence condition are confined to a
+    :class:`repro.errors.Diagnostic` and pruned like ``#error``
+    branches (see :mod:`repro.errors`).  ``phase`` tags which pipeline
+    stage raised, so confinement can classify the diagnostic.
+    """
+
+    def __init__(self, message: str, token: Optional[Token] = None,
+                 phase: str = "preprocess"):
         where = ""
         if token is not None:
             where = f"{token.file}:{token.line}:{token.col}: "
         super().__init__(where + message)
         self.token = token
+        self.phase = phase
 
 
 class IncompleteInvocation(Exception):

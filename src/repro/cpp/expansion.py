@@ -50,12 +50,21 @@ class Expander:
 
     def __init__(self, table: MacroTable, manager: Any,
                  stats: Optional[ExpansionStats] = None,
-                 protect_defined: bool = False):
+                 protect_defined: bool = False, sink=None):
         self.table = table
         self.manager = manager
         self.stats = stats or ExpansionStats()
         # In #if expressions, `defined` and its operand never expand.
         self.protect_defined = protect_defined
+        # Error confinement: ``sink(condition, error) -> bool`` is asked
+        # to absorb a PreprocessorError occurring under ``condition``.
+        # True means confined (the failing invocation is dropped and
+        # expansion continues); False re-raises for TRUE-condition
+        # failures.  Without a sink every error is hard (legacy).
+        self.sink = sink
+
+    def _confined(self, condition: Any, error: PreprocessorError) -> bool:
+        return self.sink is not None and self.sink(condition, error)
 
     # -- entry point --------------------------------------------------------
 
@@ -145,7 +154,12 @@ class Expander:
         if len(entries) == 1:
             entry_cond, entry = entries[0]
             if not entry.is_function_like:
-                body = self._subst_object(entry, token)
+                try:
+                    body = self._subst_object(entry, token)
+                except PreprocessorError as error:
+                    if self._confined(condition, error):
+                        return
+                    raise
                 work.extendleft(reversed(body))
                 return
             # Function-like with a single definition: fast path when the
@@ -156,9 +170,14 @@ class Expander:
                 return
             if consumed >= 0:
                 flat = [work.popleft() for _ in range(consumed)]
-                args = self._parse_args(token, entry, flat)
-                body = self._subst_function(entry, token, args, condition,
-                                            hoisted=False)
+                try:
+                    args = self._parse_args(token, entry, flat)
+                    body = self._subst_function(entry, token, args,
+                                                condition, hoisted=False)
+                except PreprocessorError as error:
+                    if self._confined(condition, error):
+                        return
+                    raise
                 work.extendleft(reversed(body))
                 return
             # consumed is None-like (-2): a conditional or branch end is
@@ -261,34 +280,40 @@ class Expander:
         results: List[Tuple[Any, TokenTree]] = []
         for entry_cond, entry in self.table.lookup(
                 head.text, condition, head.version):
-            if not isinstance(entry, MacroDefinition):
-                expanded = [head] + self.expand(tokens[1:], entry_cond,
-                                                allow_incomplete=trial)
-                results.append((entry_cond, expanded))
-            elif not entry.is_function_like:
-                body = self._subst_object(entry, head)
-                expanded = self.expand(body + tokens[1:], entry_cond,
-                                       allow_incomplete=trial)
-                results.append((entry_cond, expanded))
-            else:
-                end = _scan_end(tokens, 1)
-                if end is None:
-                    shape = _scan_tokens_invocation(tokens, 1)
-                    if shape == "incomplete" and trial:
-                        # The '(' (or its close) may lie beyond this
-                        # branch: demand a wider region.
-                        raise IncompleteInvocation(head.text)
-                    # Not an invocation in this branch.
+            try:
+                if not isinstance(entry, MacroDefinition):
                     expanded = [head] + self.expand(
                         tokens[1:], entry_cond, allow_incomplete=trial)
-                    results.append((entry_cond, expanded))
-                else:
-                    args = self._parse_args(head, entry, tokens[1:end])
-                    body = self._subst_function(entry, head, args,
-                                                entry_cond, hoisted=True)
-                    expanded = self.expand(body + tokens[end:], entry_cond,
+                elif not entry.is_function_like:
+                    body = self._subst_object(entry, head)
+                    expanded = self.expand(body + tokens[1:], entry_cond,
                                            allow_incomplete=trial)
-                    results.append((entry_cond, expanded))
+                else:
+                    end = _scan_end(tokens, 1)
+                    if end is None:
+                        shape = _scan_tokens_invocation(tokens, 1)
+                        if shape == "incomplete" and trial:
+                            # The '(' (or its close) may lie beyond this
+                            # branch: demand a wider region.
+                            raise IncompleteInvocation(head.text)
+                        # Not an invocation in this branch.
+                        expanded = [head] + self.expand(
+                            tokens[1:], entry_cond, allow_incomplete=trial)
+                    else:
+                        args = self._parse_args(head, entry, tokens[1:end])
+                        body = self._subst_function(entry, head, args,
+                                                    entry_cond, hoisted=True)
+                        expanded = self.expand(body + tokens[end:],
+                                               entry_cond,
+                                               allow_incomplete=trial)
+            except PreprocessorError as error:
+                if self._confined(entry_cond, error):
+                    # The branch's configurations are recorded invalid;
+                    # it contributes no tokens.
+                    results.append((entry_cond, []))
+                    continue
+                raise
+            results.append((entry_cond, expanded))
         return results
 
     # -- substitution -------------------------------------------------------

@@ -19,6 +19,17 @@ Design notes:
 * ``#error`` branches are recorded as infeasible and their tokens are
   dropped (Table 1: "Ignore erroneous branches").  ``#line``,
   ``#warning``, and ``#pragma`` become annotations.
+* Error confinement generalizes the ``#error`` treatment to *every*
+  preprocessing failure: a bad ``#if`` expression, an unresolvable or
+  too-deep include, a malformed ``#define``/``#undef``, or a broken
+  macro invocation occurring under a non-TRUE presence condition is
+  recorded as a condition-scoped :class:`repro.errors.Diagnostic`,
+  its configurations join ``error_conditions`` (so
+  ``feasible_condition`` excludes them), the failing branch's tokens
+  are pruned, and processing continues.  Hard
+  :class:`~repro.cpp.errors.PreprocessorError` is reserved for
+  failures whose condition is TRUE — i.e. every configuration is
+  broken — and for structural damage (unbalanced conditionals).
 """
 
 from __future__ import annotations
@@ -37,10 +48,22 @@ from repro.cpp.includes import (DictFileSystem, FileSystem, IncludeResolver,
 from repro.cpp.macro_table import (FREE, UNDEFINED, MacroDefinition,
                                    MacroTable)
 from repro.cpp.tree import Conditional, TokenTree, max_depth
+from repro.errors import (Diagnostic, PHASE_CONDITION, PHASE_EXPANSION,
+                          PHASE_INCLUDE, PHASE_LEX, PHASE_PREPROCESS,
+                          ResourceBudget, SEVERITY_CONFIG,
+                          SEVERITY_WARNING, origin_of)
 from repro.lexer import lex_logical_lines
+from repro.lexer.lexer import LexerError
 from repro.lexer.tokens import Token, TokenKind
 
-_MAX_INCLUDE_DEPTH = 200
+_MAX_INCLUDE_DEPTH = ResourceBudget.DEFAULT_INCLUDE_DEPTH
+
+# Directives whose handlers manage error confinement themselves: the
+# conditional family must keep #if/#endif balanced (so confinement
+# happens around the condition computation, never around the frame
+# push/pop), and #error records its own condition.
+_SELF_CONFINED = frozenset(
+    ("if", "ifdef", "ifndef", "elif", "else", "endif", "error"))
 
 # gcc-style default built-ins (the "ground truth" of §2.1); callers may
 # override or extend.
@@ -95,7 +118,8 @@ class CompilationUnit:
                  manager: BDDManager, table: MacroTable,
                  stats: PreprocessorStats,
                  error_conditions: List[Tuple[BDDNode, str]],
-                 warnings: List[Tuple[BDDNode, str]]):
+                 warnings: List[Tuple[BDDNode, str]],
+                 diagnostics: Optional[List[Diagnostic]] = None):
         self.filename = filename
         self.tree = tree
         self.manager = manager
@@ -103,6 +127,9 @@ class CompilationUnit:
         self.stats = stats
         self.error_conditions = error_conditions
         self.warnings = warnings
+        # Structured, condition-scoped diagnostics (confined errors
+        # first, then warnings); see repro.errors.
+        self.diagnostics: List[Diagnostic] = diagnostics or []
 
     @property
     def feasible_condition(self) -> BDDNode:
@@ -139,18 +166,22 @@ class Preprocessor:
                  include_paths: Sequence[str] = (),
                  builtins: Optional[Dict[str, str]] = None,
                  manager: Optional[BDDManager] = None,
-                 extra_definitions: Optional[Dict[str, str]] = None):
+                 extra_definitions: Optional[Dict[str, str]] = None,
+                 budget: Optional[ResourceBudget] = None):
         self.fs = fs or DictFileSystem({})
         self.resolver = IncludeResolver(self.fs, include_paths)
         self.manager = manager or BDDManager()
         self.table = MacroTable(self.manager)
         self.stats = PreprocessorStats()
+        self.budget = budget or ResourceBudget()
         self._expansion_stats = ExpansionStats()
         self.expander = Expander(self.table, self.manager,
-                                 self._expansion_stats)
+                                 self._expansion_stats,
+                                 sink=self._expansion_sink)
         self.directive_expander = Expander(self.table, self.manager,
                                            self._expansion_stats,
-                                           protect_defined=True)
+                                           protect_defined=True,
+                                           sink=self._expansion_sink)
         builtin_map = DEFAULT_BUILTINS if builtins is None else builtins
         for name, body in builtin_map.items():
             self.table.define_builtin(name, body)
@@ -164,6 +195,7 @@ class Preprocessor:
         self.guard_macros: set = set()
         self._errors: List[Tuple[BDDNode, str]] = []
         self._warnings: List[Tuple[BDDNode, str]] = []
+        self.diagnostics: List[Diagnostic] = []
         self._pending_annotations: Tuple[str, ...] = ()
         # Time spent lexing (separated out for the Figure 10 latency
         # breakdown); total preprocessing time is measured by callers.
@@ -180,8 +212,13 @@ class Preprocessor:
                 f"unterminated conditional in {self._frames[-1].file}")
         tree = self.expander.expand(self._root, self.manager.true)
         self._merge_stats(tree)
+        diagnostics = list(self.diagnostics)
+        diagnostics.extend(
+            Diagnostic(cond, SEVERITY_WARNING, PHASE_PREPROCESS, message)
+            for cond, message in self._warnings)
         return CompilationUnit(filename, tree, self.manager, self.table,
-                               self.stats, self._errors, self._warnings)
+                               self.stats, self._errors, self._warnings,
+                               diagnostics)
 
     def preprocess_file(self, path: str) -> CompilationUnit:
         """Preprocess a file from the file system."""
@@ -193,10 +230,11 @@ class Preprocessor:
     # -- main loop --------------------------------------------------------------
 
     def _process_file(self, filename: str, text: str) -> None:
-        if len(self._file_stack) > _MAX_INCLUDE_DEPTH:
+        depth_limit = self.budget.max_include_depth
+        if len(self._file_stack) > depth_limit:
             raise PreprocessorError(
-                f"include depth exceeds {_MAX_INCLUDE_DEPTH} "
-                f"(cycle?) at {filename}")
+                f"include depth exceeds {depth_limit} "
+                f"(cycle?) at {filename}", phase=PHASE_INCLUDE)
         self._file_stack.append(filename)
         entry_depth = len(self._frames)
         lex_start = time.perf_counter()
@@ -218,6 +256,47 @@ class Preprocessor:
         if self._frames:
             return self._frames[-1].current_cond
         return self.manager.true
+
+    # -- error confinement ----------------------------------------------------
+
+    def _record_error(self, condition: BDDNode, message: str, phase: str,
+                      token: Optional[Token] = None) -> None:
+        """Record a confined, condition-scoped error: its configurations
+        join ``error_conditions`` (pruning them from
+        ``feasible_condition``) and a structured diagnostic is kept."""
+        for known_cond, known_msg in self._errors:
+            if known_cond is condition and known_msg == message:
+                return  # already recorded (e.g. hoist-retry re-expansion)
+        self._errors.append((condition, message))
+        self.diagnostics.append(
+            Diagnostic(condition, SEVERITY_CONFIG, phase, message,
+                       origin_of(token)))
+
+    def _confine_or_raise(self, error: PreprocessorError,
+                          condition: BDDNode, phase: str) -> None:
+        """Confine ``error`` to ``condition`` like an ``#error`` branch,
+        or re-raise when every configuration is affected."""
+        if condition.is_true():
+            raise error
+        self._record_error(condition, str(error), phase,
+                           getattr(error, "token", None))
+        if self._frames:
+            frame = self._frames[-1]
+            current = frame.current_cond
+            if condition is current or condition.equiv(current).is_true():
+                # The whole open branch is broken: prune its tokens.
+                frame.erroneous = True
+                frame.buffer = []
+
+    def _expansion_sink(self, condition: BDDNode,
+                        error: PreprocessorError) -> bool:
+        """Expander callback: absorb macro-expansion failures occurring
+        under a non-TRUE condition (the invocation is dropped)."""
+        if condition.is_true():
+            return False
+        self._record_error(condition, str(error), PHASE_EXPANSION,
+                           getattr(error, "token", None))
+        return True
 
     def _buffer(self) -> TokenTree:
         if self._frames:
@@ -257,7 +336,19 @@ class Preprocessor:
                 (self._abs_condition(),
                  f"{filename}: unknown directive #{keyword}"))
             return
-        handler(line[1], rest, filename)
+        if keyword in _SELF_CONFINED:
+            # Conditional structure must stay balanced, so the if-family
+            # confines inside its handlers (a frame is always pushed);
+            # #error manages its own recording.
+            handler(line[1], rest, filename)
+            return
+        condition = self._abs_condition()
+        try:
+            handler(line[1], rest, filename)
+        except PreprocessorError as error:
+            self._confine_or_raise(error, condition,
+                                   getattr(error, "phase",
+                                           PHASE_PREPROCESS))
 
     # conditionals
 
@@ -290,10 +381,18 @@ class Preprocessor:
 
     def _ifdef_condition(self, origin: Token, rest: List[Token],
                          negate: bool) -> BDDNode:
-        if not rest or rest[0].kind is not TokenKind.IDENTIFIER:
-            raise PreprocessorError("#ifdef/#ifndef requires a name",
-                                    origin)
         absolute = self._abs_condition()
+        if not rest or rest[0].kind is not TokenKind.IDENTIFIER:
+            error = PreprocessorError("#ifdef/#ifndef requires a name",
+                                      origin, phase=PHASE_CONDITION)
+            if absolute.is_true():
+                raise error
+            # Confined: the frame is still pushed (keeping #endif
+            # balanced) with a false branch condition, and the whole
+            # surrounding branch is recorded erroneous.
+            self._record_error(absolute, str(error), PHASE_CONDITION,
+                               origin)
+            return self.manager.false
         defined = self._defined_bdd(rest[0].text, absolute)
         return (absolute & ~defined) if negate else defined
 
@@ -443,13 +542,21 @@ class Preprocessor:
         for branch_cond, tokens in branches:
             if branch_cond.is_false():
                 continue
-            operand = self._header_operand(tokens)
-            if operand is None:
-                raise PreprocessorError(
-                    "computed include does not name a header", origin)
-            name, quoted = operand
-            self.stats.includes += 1
-            self._do_include(origin, name, quoted, branch_cond, filename)
+            try:
+                operand = self._header_operand(tokens)
+                if operand is None:
+                    raise PreprocessorError(
+                        "computed include does not name a header",
+                        origin, phase=PHASE_INCLUDE)
+                name, quoted = operand
+                self.stats.includes += 1
+                self._do_include(origin, name, quoted, branch_cond,
+                                 filename)
+            except PreprocessorError as error:
+                # Confine to this hoisted branch (narrower than the
+                # whole directive's condition); the other branches'
+                # includes still happen.
+                self._confine_or_raise(error, branch_cond, PHASE_INCLUDE)
 
     @staticmethod
     def _header_operand(tokens: Sequence[Token]) \
@@ -469,36 +576,64 @@ class Preprocessor:
 
     def _do_include(self, origin: Token, name: str, quoted: bool,
                     condition: BDDNode, includer: str) -> None:
-        path = self.resolver.resolve(name, quoted, includer)
-        if path is None:
-            raise PreprocessorError(f"cannot find include file {name!r}",
-                                    origin)
-        text = self.fs.read(path)
-        if path in self._included:
-            guard = self._included[path]
-            if guard is not None:
-                already = self.table.defined_condition(guard, condition)
-                if (condition & ~already).is_false():
-                    return  # guard satisfied everywhere: skip
-            self.stats.reincluded_headers += 1
-        else:
-            guard = detect_guard(text, path)
-            self._included[path] = guard
-            if guard is not None:
-                self.guard_macros.add(guard)
-        if condition is self._abs_condition() or \
-                condition.equiv(self._abs_condition()).is_true():
+        """Resolve and process one include.  A failure anywhere inside
+        (unresolvable file, depth-budget trip, or an error raised while
+        processing the included file) unwinds the conditional and file
+        stacks to their state at this include, so the caller can confine
+        the error and keep processing the includer."""
+        frames_depth = len(self._frames)
+        files_depth = len(self._file_stack)
+        try:
+            path = self.resolver.resolve(name, quoted, includer)
+            if path is None:
+                raise PreprocessorError(
+                    f"cannot find include file {name!r}", origin,
+                    phase=PHASE_INCLUDE)
+            text = self.fs.read(path)
+            if path in self._included:
+                guard = self._included[path]
+                if guard is not None:
+                    already = self.table.defined_condition(guard,
+                                                           condition)
+                    if (condition & ~already).is_false():
+                        return  # guard satisfied everywhere: skip
+                self.stats.reincluded_headers += 1
+            else:
+                guard = detect_guard(text, path)
+                self._included[path] = guard
+                if guard is not None:
+                    self.guard_macros.add(guard)
+            if condition is self._abs_condition() or \
+                    condition.equiv(self._abs_condition()).is_true():
+                self._process_file(path, text)
+                return
+            # Include under a narrower condition (computed-include
+            # branch): wrap the file's output in a synthetic
+            # conditional.
+            frame = _Frame(self._abs_condition(), condition, path,
+                           synthetic=True)
+            self._frames.append(frame)
             self._process_file(path, text)
-            return
-        # Include under a narrower condition (computed-include branch):
-        # wrap the file's output in a synthetic conditional.
-        frame = _Frame(self._abs_condition(), condition, path,
-                       synthetic=True)
-        self._frames.append(frame)
-        self._process_file(path, text)
-        self._frames.pop()
-        if frame.buffer:
-            self._buffer().append(Conditional([(condition, frame.buffer)]))
+            self._frames.pop()
+            if frame.buffer:
+                self._buffer().append(
+                    Conditional([(condition, frame.buffer)]))
+        except PreprocessorError:
+            # Unwind anything the failed include left open so the
+            # caller can confine the error and keep processing the
+            # includer.
+            del self._frames[frames_depth:]
+            del self._file_stack[files_depth:]
+            raise
+        except LexerError as error:
+            # A lexically broken header is an include failure of this
+            # include site: rewrap so the caller's confinement applies
+            # (an unguarded broken header still fails hard).
+            del self._frames[frames_depth:]
+            del self._file_stack[files_depth:]
+            raise PreprocessorError(f"broken include file {name!r}: "
+                                    f"{error}", origin,
+                                    phase=PHASE_LEX) from error
 
     # diagnostics and annotations
 
@@ -509,12 +644,14 @@ class Preprocessor:
         self.stats.error_directives += 1
         if condition.is_false():
             return
-        if not self._frames:
+        if condition.is_true():
+            # Every configuration hits the #error: the unit is unusable.
             raise PreprocessorError(f"#error {message}", origin)
-        self._errors.append((condition, message))
-        frame = self._frames[-1]
-        frame.erroneous = True
-        frame.buffer = []
+        self._record_error(condition, message, PHASE_PREPROCESS, origin)
+        if self._frames:
+            frame = self._frames[-1]
+            frame.erroneous = True
+            frame.buffer = []
 
     def _dir_warning(self, origin: Token, rest: List[Token],
                      filename: str) -> None:
@@ -540,12 +677,29 @@ class Preprocessor:
         if condition.is_false():
             return self.manager.false
         if not tokens:
-            raise PreprocessorError("#if with no expression")
+            error = PreprocessorError("#if with no expression",
+                                      phase=PHASE_CONDITION)
+            if condition.is_true():
+                raise error
+            self._record_error(condition, str(error), PHASE_CONDITION)
+            return self.manager.false
         version = self.table.version
         for token in tokens:
             token.version = version
-        expanded = self.directive_expander.expand(list(tokens), condition)
-        branches = hoist(condition, expanded)
+        try:
+            expanded = self.directive_expander.expand(list(tokens),
+                                                      condition)
+            branches = hoist(condition, expanded)
+        except PreprocessorError as error:
+            # Expansion/hoisting of the controlling expression failed;
+            # the caller still pushes its frame (with a false branch
+            # condition), keeping #endif balanced.
+            if condition.is_true():
+                raise
+            self._record_error(condition, str(error),
+                               getattr(error, "phase", PHASE_CONDITION),
+                               tokens[0])
+            return self.manager.false
         if len(branches) > 1:
             self.stats.hoisted_conditionals += 1
         result = self.manager.false
@@ -560,10 +714,17 @@ class Preprocessor:
                 branch_bdd = converter.to_bdd(expr)
             except ExprError as error:
                 # Parse errors and evaluation errors (e.g. division by
-                # zero during constant folding) are hard errors.
-                raise PreprocessorError(
+                # zero during constant folding) are hard only when the
+                # branch covers every configuration; otherwise the
+                # branch is recorded erroneous and contributes false.
+                wrapped = PreprocessorError(
                     f"bad conditional expression: {error}",
-                    tokens[0]) from error
+                    tokens[0], phase=PHASE_CONDITION)
+                if branch_cond.is_true():
+                    raise wrapped from error
+                self._record_error(branch_cond, str(wrapped),
+                                   PHASE_CONDITION, tokens[0])
+                continue
             result = result | (branch_cond & branch_bdd)
             self.stats.non_boolean_expressions += \
                 converter.non_boolean_count

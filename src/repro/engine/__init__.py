@@ -28,7 +28,8 @@ from repro.engine.cache import (RESULT_CACHE_VERSION, ResultCache,
                                 include_closure_digest,
                                 warm_grammar_tables)
 from repro.engine.metrics import STREAM_SCHEMA_VERSION, MetricsStream
-from repro.engine.results import (RETRYABLE_STATUSES, STATUS_DISAGREE,
+from repro.engine.results import (RETRYABLE_STATUSES, STATUS_CRASHED,
+                                  STATUS_DEGRADED, STATUS_DISAGREE,
                                   STATUS_ERROR, STATUS_OK,
                                   STATUS_PARSE_FAILED, STATUS_TIMEOUT,
                                   CorpusReport, error_record,
@@ -40,7 +41,8 @@ from repro.engine.scheduler import (DEFAULT_OPTIMIZATION, BatchEngine,
 __all__ = [
     "BatchEngine", "CorpusJob", "CorpusReport", "DEFAULT_OPTIMIZATION",
     "EngineConfig", "MetricsStream", "RESULT_CACHE_VERSION",
-    "RETRYABLE_STATUSES", "ResultCache", "STATUS_DISAGREE",
+    "RETRYABLE_STATUSES", "ResultCache", "STATUS_CRASHED",
+    "STATUS_DEGRADED", "STATUS_DISAGREE",
     "STATUS_ERROR", "STATUS_OK",
     "STATUS_PARSE_FAILED", "STATUS_TIMEOUT", "STREAM_SCHEMA_VERSION",
     "config_fingerprint", "error_record", "format_report",

@@ -32,7 +32,9 @@ from repro.parser.lalr import to_blob
 
 # Bump to invalidate every cached result record (schema or semantics
 # change in what the engine records per unit).
-RESULT_CACHE_VERSION = 1
+# 2: records gained "diagnostics"/"invalid_configs"; guarded failures
+#    became STATUS_DEGRADED.
+RESULT_CACHE_VERSION = 2
 
 _INCLUDE_RE = re.compile(
     r'^[ \t]*#[ \t]*include\w*[ \t]+([<"])([^>"\n]+)[>"]', re.MULTILINE)

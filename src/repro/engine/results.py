@@ -27,12 +27,21 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 STATUS_OK = "ok"
+# A partial result: an AST exists, but some configurations were pruned
+# (confined preprocessor errors), rejected (parse failures), or
+# degraded away (kill-switch/budget trips).  Degraded units count as
+# coverage, not as failures.
+STATUS_DEGRADED = "degraded"
 STATUS_PARSE_FAILED = "parse-failed"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 # Emitted by differential runners (repro.qa): the two pipelines
 # returned different answers for at least one configuration.
 STATUS_DISAGREE = "disagree"
+# Assigned by the scheduler's crash-loop circuit breaker: the unit
+# crashed or timed out on N consecutive attempts and is permanently
+# abandoned for the run (never cached, never retried again).
+STATUS_CRASHED = "crashed"
 
 # Statuses the scheduler will resubmit (a parse failure is a property
 # of the source, not of the run — retrying cannot change it; the same
@@ -57,9 +66,15 @@ def record_from_result(unit: str, result, attempt: int = 1,
     """Build a unit record from a ``SuperCResult``."""
     failures = [str(failure) for failure in result.failures[:3]]
     stats = result.parse.stats
+    status = getattr(result, "status", None)
+    if status not in (STATUS_OK, STATUS_DEGRADED, STATUS_PARSE_FAILED):
+        status = STATUS_OK if result.ok else STATUS_PARSE_FAILED
+    diagnostics = [diag.to_record()
+                   for diag in result.diagnostics[:20]]
+    invalid = result.invalid_configs
     return {
         "unit": unit,
-        "status": STATUS_OK if result.ok else STATUS_PARSE_FAILED,
+        "status": status,
         "attempt": attempt,
         "cache": "miss",
         "seconds": round(seconds, 6),
@@ -71,6 +86,9 @@ def record_from_result(unit: str, result, attempt: int = 1,
                        "merges": stats.merges},
         "preprocessor": result.unit.stats.as_dict(),
         "failures": failures,
+        "diagnostics": diagnostics,
+        "invalid_configs": (None if invalid.is_false()
+                            else invalid.to_expr_string()),
         "error": None,
     }
 
@@ -88,6 +106,8 @@ def error_record(unit: str, status: str, message: str,
         "subparsers": {"max": 0, "forks": 0, "merges": 0},
         "preprocessor": {},
         "failures": [],
+        "diagnostics": [],
+        "invalid_configs": None,
         "error": message,
     }
 
@@ -120,15 +140,24 @@ class CorpusReport:
         return self.by_status.get(STATUS_OK, 0)
 
     @property
+    def degraded(self) -> int:
+        return self.by_status.get(STATUS_DEGRADED, 0)
+
+    @property
     def failed(self) -> int:
         return (self.by_status.get(STATUS_PARSE_FAILED, 0)
                 + self.by_status.get(STATUS_ERROR, 0)
                 + self.by_status.get(STATUS_TIMEOUT, 0)
-                + self.by_status.get(STATUS_DISAGREE, 0))
+                + self.by_status.get(STATUS_DISAGREE, 0)
+                + self.by_status.get(STATUS_CRASHED, 0))
 
     @property
     def all_ok(self) -> bool:
-        return self.units > 0 and self.ok == self.units
+        """Every unit produced a usable (possibly partial) result.
+        Degraded units carry condition-tagged diagnostics but still
+        have an AST, so they count toward coverage."""
+        return self.units > 0 and \
+            self.ok + self.degraded == self.units
 
     @property
     def cache_hit_rate(self) -> float:
@@ -169,6 +198,19 @@ class CorpusReport:
             rollup[phase]["total"] = sum(values)
         return rollup
 
+    def diagnostic_rollup(self) -> Dict[str, int]:
+        """Histogram of condition-scoped diagnostics across the corpus,
+        keyed ``phase/severity`` (e.g. ``include/config-error``) — the
+        error-condition aggregate the degradation layer feeds from
+        ``superc-parse --json`` records."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            for diag in record.get("diagnostics") or ():
+                key = (f"{diag.get('phase', '?')}/"
+                       f"{diag.get('severity', '?')}")
+                histogram[key] = histogram.get(key, 0) + 1
+        return dict(sorted(histogram.items()))
+
     def preprocessor_rollup(self) -> Dict[str, Dict[str, float]]:
         """Table 3: percentiles of each preprocessor counter across the
         corpus's compilation units."""
@@ -191,6 +233,7 @@ class CorpusReport:
             "cpu_seconds": round(self.cpu_seconds, 3),
             "workers": self.workers,
             "subparsers": self.subparser_rollup(),
+            "diagnostics": self.diagnostic_rollup(),
         }
 
 
@@ -198,13 +241,16 @@ def format_report(report: CorpusReport, verbose: bool = False) -> str:
     """Human-readable corpus report for the CLI."""
     lines = []
     lines.append(f"units: {report.units}  ok: {report.ok}  "
+                 f"degraded: {report.degraded}  "
                  f"parse-failed: "
                  f"{report.by_status.get(STATUS_PARSE_FAILED, 0)}  "
                  f"errors: {report.by_status.get(STATUS_ERROR, 0)}  "
                  f"timeouts: {report.by_status.get(STATUS_TIMEOUT, 0)}"
                  + (f"  disagreements: "
                     f"{report.by_status[STATUS_DISAGREE]}"
-                    if STATUS_DISAGREE in report.by_status else ""))
+                    if STATUS_DISAGREE in report.by_status else "")
+                 + (f"  crashed: {report.by_status[STATUS_CRASHED]}"
+                    if STATUS_CRASHED in report.by_status else ""))
     lines.append(f"cache: {report.cache_hits} hit / "
                  f"{report.cache_misses} miss "
                  f"({100.0 * report.cache_hit_rate:.0f}% hits)")
@@ -224,8 +270,12 @@ def format_report(report: CorpusReport, verbose: bool = False) -> str:
         for key, row in report.preprocessor_rollup().items():
             lines.append(f"  {key}: {row['p50']:.0f} / "
                          f"{row['p90']:.0f} / {row['p100']:.0f}")
+    rollup = report.diagnostic_rollup()
+    if rollup:
+        lines.append("diagnostics: " + ", ".join(
+            f"{key} {count}" for key, count in rollup.items()))
     failing = [record for record in report.records
-               if record["status"] != STATUS_OK]
+               if record["status"] not in (STATUS_OK, STATUS_DEGRADED)]
     for record in failing[:10]:
         detail = record["error"] or "; ".join(record["failures"][:1])
         lines.append(f"  {record['status']}: {record['unit']}"

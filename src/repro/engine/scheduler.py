@@ -23,6 +23,7 @@ from __future__ import annotations
 import glob as glob_module
 import importlib
 import os
+import random
 import signal
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -32,9 +33,10 @@ from repro.engine.cache import (ResultCache, config_fingerprint,
                                 include_closure_digest,
                                 warm_grammar_tables)
 from repro.engine.metrics import MetricsStream
-from repro.engine.results import (RETRYABLE_STATUSES, STATUS_ERROR,
-                                  STATUS_TIMEOUT, CorpusReport,
-                                  error_record, record_from_result)
+from repro.engine.results import (RETRYABLE_STATUSES, STATUS_CRASHED,
+                                  STATUS_ERROR, STATUS_TIMEOUT,
+                                  CorpusReport, error_record,
+                                  record_from_result)
 from repro.parser.fmlr import OPTIMIZATION_LEVELS
 
 DEFAULT_OPTIMIZATION = "Shared, Lazy, & Early"
@@ -49,7 +51,13 @@ class EngineConfig:
                  optimization: str = DEFAULT_OPTIMIZATION,
                  cache_dir: Optional[str] = None,
                  use_result_cache: bool = True,
-                 fault_hook: Union[None, str, Callable] = None):
+                 fault_hook: Union[None, str, Callable] = None,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 backoff_max: float = 2.0,
+                 backoff_jitter: float = 0.5,
+                 backoff_seed: int = 0,
+                 crash_loop_threshold: int = 3):
         if optimization not in OPTIMIZATION_LEVELS:
             raise ValueError(f"unknown optimization {optimization!r}")
         self.workers = max(1, workers)
@@ -58,6 +66,19 @@ class EngineConfig:
         self.optimization = optimization
         self.cache_dir = cache_dir
         self.use_result_cache = use_result_cache
+        # Retry pacing: wave N sleeps base * factor**(N-2), capped at
+        # backoff_max, plus up to ``backoff_jitter`` of that delay in
+        # seeded jitter — deterministic for a given (seed, wave), so
+        # runs are reproducible.  base=0 disables sleeping entirely.
+        self.backoff_base = max(0.0, backoff_base)
+        self.backoff_factor = max(1.0, backoff_factor)
+        self.backoff_max = max(0.0, backoff_max)
+        self.backoff_jitter = max(0.0, backoff_jitter)
+        self.backoff_seed = backoff_seed
+        # Circuit breaker: a unit whose crash/deadline failures reach
+        # this many consecutive attempts is marked STATUS_CRASHED and
+        # permanently dropped from retrying (0 disables).
+        self.crash_loop_threshold = max(0, crash_loop_threshold)
         # Test/benchmark instrumentation: called with the unit path
         # before each parse attempt.  A dotted "pkg.mod:name" string is
         # resolved inside the worker (start-method agnostic); a bare
@@ -271,19 +292,42 @@ class BatchEngine:
             for record in self._run_wave(job, pending, attempt):
                 final[record["unit"]] = record
                 metrics.unit(record)
+            # Crash-loop circuit breaker: a unit that has crashed or
+            # timed out on N consecutive attempts is permanently
+            # abandoned for this run — retrying a deterministic
+            # worker-killer only burns the remaining retry budget.
+            threshold = config.crash_loop_threshold
+            if threshold:
+                for unit in pending:
+                    record = final[unit]
+                    if record["status"] in RETRYABLE_STATUSES \
+                            and record["attempt"] >= threshold:
+                        tripped = dict(record)
+                        tripped["status"] = STATUS_CRASHED
+                        tripped["error"] = (
+                            f"{record.get('error') or 'failed'} "
+                            f"(circuit breaker: {record['attempt']} "
+                            f"consecutive crash/deadline attempts)")
+                        final[unit] = tripped
+                        metrics.unit(tripped)
             attempt += 1
             if attempt > config.retries + 1:
                 break
             pending = [unit for unit in pending
                        if final[unit]["status"] in RETRYABLE_STATUSES]
+            if pending:
+                delay = self._backoff_delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
 
         if cache is not None:
             for unit, record in final.items():
                 if record["cache"] == "hit" or unit not in cache_keys:
                     continue
-                # Transient outcomes (crash, deadline) stay uncached so
-                # the next run retries them.
-                if record["status"] not in RETRYABLE_STATUSES:
+                # Transient outcomes (crash, deadline, circuit-breaker
+                # trips) stay uncached so the next run retries them.
+                if record["status"] not in RETRYABLE_STATUSES \
+                        and record["status"] != STATUS_CRASHED:
                     cache.put(cache_keys[unit], record)
 
         records = [final[unit] for unit in job.units if unit in final]
@@ -295,6 +339,18 @@ class BatchEngine:
         return report
 
     # -- internals --------------------------------------------------------
+
+    def _backoff_delay(self, wave: int) -> float:
+        """Deterministic exponential backoff with seeded jitter before
+        retry wave ``wave`` (the first retry wave is 2)."""
+        config = self.config
+        if config.backoff_base <= 0:
+            return 0.0
+        delay = min(config.backoff_max,
+                    config.backoff_base
+                    * config.backoff_factor ** max(0, wave - 2))
+        rng = random.Random(f"{config.backoff_seed}:{wave}")
+        return delay * (1.0 + config.backoff_jitter * rng.random())
 
     def _result_cache(self, job: CorpusJob) -> ResultCache:
         fingerprint = config_fingerprint(

@@ -1,0 +1,120 @@
+"""Structured, configuration-scoped error taxonomy.
+
+SuperC's core robustness promise (§2.1, §3.1) is that breakage in
+*some* configurations must not destroy the analysis of the others.
+This module is the vocabulary for that promise: every diagnostic the
+pipeline records carries
+
+* a **presence condition** — the BDD over configuration variables
+  under which the problem occurs;
+* a **severity** — ``fatal`` (the whole unit is unusable),
+  ``config-error`` (the condition's configurations are pruned, like
+  ``#error`` branches), or ``warning``;
+* a **phase** — which pipeline stage produced it (lex, preprocess,
+  include, condition, expansion, parse, resource);
+* a **source origin** — ``file:line:col`` when a token is known.
+
+Hard exceptions (:class:`repro.cpp.errors.PreprocessorError`,
+``LexerError``) are reserved for TRUE-condition failures; everything
+occurring under a narrower presence condition is recorded as a
+:class:`Diagnostic` and pruned, and processing continues.
+
+:class:`ResourceBudget` bounds per-unit resource use (include depth,
+BDD nodes, token count); tripping a budget takes the same degradation
+path as a confined error instead of crashing the unit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+SEVERITY_FATAL = "fatal"
+SEVERITY_CONFIG = "config-error"
+SEVERITY_WARNING = "warning"
+
+PHASE_LEX = "lex"
+PHASE_PREPROCESS = "preprocess"
+PHASE_INCLUDE = "include"
+PHASE_CONDITION = "condition"
+PHASE_EXPANSION = "expansion"
+PHASE_PARSE = "parse"
+PHASE_RESOURCE = "resource"
+
+SEVERITIES = (SEVERITY_FATAL, SEVERITY_CONFIG, SEVERITY_WARNING)
+PHASES = (PHASE_LEX, PHASE_PREPROCESS, PHASE_INCLUDE, PHASE_CONDITION,
+          PHASE_EXPANSION, PHASE_PARSE, PHASE_RESOURCE)
+
+
+def origin_of(token: Any) -> Optional[str]:
+    """``file:line:col`` for a token-like object, or None."""
+    if token is None:
+        return None
+    try:
+        return f"{token.file}:{token.line}:{token.col}"
+    except AttributeError:
+        return None
+
+
+class Diagnostic:
+    """One condition-scoped problem found anywhere in the pipeline."""
+
+    __slots__ = ("condition", "severity", "phase", "message", "origin")
+
+    def __init__(self, condition: Any, severity: str, phase: str,
+                 message: str, origin: Optional[str] = None):
+        self.condition = condition  # a BDD node
+        self.severity = severity
+        self.phase = phase
+        self.message = message
+        self.origin = origin
+
+    def to_record(self) -> dict:
+        """Flat JSON-serializable form (engine records, ``--json``)."""
+        return {
+            "condition": self.condition.to_expr_string(),
+            "severity": self.severity,
+            "phase": self.phase,
+            "message": self.message,
+            "origin": self.origin,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Diagnostic({self.severity}, {self.phase}, "
+                f"[{self.condition.to_expr_string()}], "
+                f"{self.message!r})")
+
+
+class ResourceBudget:
+    """Per-unit resource limits; 0 disables a limit (except include
+    depth, which always needs a bound to turn include cycles into
+    condition-scoped diagnostics instead of ``RecursionError``)."""
+
+    __slots__ = ("max_include_depth", "max_bdd_nodes", "max_tokens")
+
+    DEFAULT_INCLUDE_DEPTH = 200
+
+    def __init__(self, max_include_depth: int = DEFAULT_INCLUDE_DEPTH,
+                 max_bdd_nodes: int = 0, max_tokens: int = 0):
+        self.max_include_depth = max(1, max_include_depth)
+        self.max_bdd_nodes = max(0, max_bdd_nodes)
+        self.max_tokens = max(0, max_tokens)
+
+    def __repr__(self) -> str:
+        return (f"ResourceBudget(include_depth="
+                f"{self.max_include_depth}, bdd_nodes="
+                f"{self.max_bdd_nodes}, tokens={self.max_tokens})")
+
+
+def serialize_diagnostics(diagnostics: List[Diagnostic],
+                          limit: int = 20) -> List[dict]:
+    """Records for the first ``limit`` diagnostics (engine/metrics)."""
+    return [diag.to_record() for diag in diagnostics[:limit]]
+
+
+__all__ = [
+    "Diagnostic", "PHASES", "PHASE_CONDITION", "PHASE_EXPANSION",
+    "PHASE_INCLUDE", "PHASE_LEX", "PHASE_PARSE", "PHASE_PREPROCESS",
+    "PHASE_RESOURCE", "ResourceBudget", "SEVERITIES", "SEVERITY_CONFIG",
+    "SEVERITY_FATAL", "SEVERITY_WARNING", "origin_of",
+    "serialize_diagnostics",
+]

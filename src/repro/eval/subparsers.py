@@ -85,7 +85,10 @@ def measure_level(corpus: KernelCorpus, level: str,
                        early_reduces=base.early_reduces,
                        mapr_largest_first=base.mapr_largest_first,
                        choice_merging=base.choice_merging,
-                       kill_switch=kill_switch)
+                       kill_switch=kill_switch,
+                       # The benchmark reports explosions, so keep the
+                       # legacy abort instead of graceful shedding.
+                       hard_kill_switch=True)
     superc = SuperC(corpus.filesystem(),
                     include_paths=corpus.include_paths, options=opts)
     counts: List[int] = []
@@ -94,6 +97,8 @@ def measure_level(corpus: KernelCorpus, level: str,
         try:
             result = superc.parse_file(unit)
             counts.extend(result.parse.stats.subparser_counts)
+            if result.parse.stats.kill_switch_trips:
+                exploded += 1
         except SubparserExplosion:
             exploded += 1
     return SubparserDistribution(level, counts, exploded,

@@ -28,6 +28,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import (Diagnostic, PHASE_PARSE, PHASE_RESOURCE,
+                          ResourceBudget, SEVERITY_CONFIG)
 from repro.lexer.tokens import Token, TokenKind
 from repro.parser.ast import build_value, make_choice
 from repro.parser.context import ParserContext
@@ -54,7 +56,8 @@ class FMLROptions:
                  shared_reduces: bool = True, early_reduces: bool = True,
                  mapr_largest_first: bool = False,
                  choice_merging: bool = True,
-                 kill_switch: int = 16000):
+                 kill_switch: int = 16000,
+                 hard_kill_switch: bool = False):
         self.follow_set = follow_set
         self.lazy_shifts = lazy_shifts
         self.shared_reduces = shared_reduces
@@ -67,6 +70,12 @@ class FMLROptions:
         # exponential on Figure 6 (2^18 distinct initializer lists).
         self.choice_merging = choice_merging
         self.kill_switch = kill_switch
+        # The paper's kill switch aborts the parse (SubparserExplosion).
+        # By default it is now a *budget*: on trip, the lowest-priority
+        # forks are dropped, their conditions are tagged invalid on the
+        # result, and parsing continues (graceful degradation).  Set
+        # hard_kill_switch=True for the legacy abort (benchmarks).
+        self.hard_kill_switch = hard_kill_switch
 
     def label(self) -> str:
         if not self.follow_set:
@@ -114,6 +123,9 @@ class FMLRStats:
         self.merges = 0
         self.shared_reduce_count = 0
         self.lazy_shift_count = 0
+        # Degradation counters (soft kill switch / resource budgets).
+        self.kill_switch_trips = 0
+        self.dropped_subparsers = 0
 
 
 class _StackNode:
@@ -184,19 +196,42 @@ class ParseFailure:
 
 
 class FMLRResult:
-    """Outcome of a configuration-preserving parse."""
+    """Outcome of a configuration-preserving parse.
+
+    A *partial* result is still a result: ``failures`` covers
+    configurations that were parsed and rejected, ``diagnostics``
+    covers configurations that were degraded away (soft kill switch,
+    resource budgets), and ``invalid_configs`` disjoins both so callers
+    can see exactly which configurations have no usable AST.
+    """
 
     def __init__(self, accepted: List[Tuple[Any, Any]],
                  failures: List[ParseFailure], stats: FMLRStats,
-                 manager: Any):
+                 manager: Any,
+                 diagnostics: Optional[List[Diagnostic]] = None,
+                 degraded: bool = False):
         self.accepted = accepted
         self.failures = failures
         self.stats = stats
         self.manager = manager
+        self.diagnostics: List[Diagnostic] = diagnostics or []
+        self.degraded = degraded
 
     @property
     def ok(self) -> bool:
-        return bool(self.accepted) and not self.failures
+        return bool(self.accepted) and not self.failures \
+            and not self.degraded
+
+    @property
+    def invalid_configs(self) -> Any:
+        """BDD over configurations with no usable parse (rejected or
+        degraded away)."""
+        condition = self.manager.false
+        for failure in self.failures:
+            condition = condition | failure.condition
+        for diagnostic in self.diagnostics:
+            condition = condition | diagnostic.condition
+        return condition
 
     @property
     def value(self) -> Any:
@@ -214,11 +249,13 @@ class FMLRParser:
                  classify: Callable[[Token], str],
                  context_factory: Callable[[], ParserContext]
                  = ParserContext,
-                 options: Optional[FMLROptions] = None):
+                 options: Optional[FMLROptions] = None,
+                 budget: Optional[ResourceBudget] = None):
         self.tables = tables
         self.classify = classify
         self.context_factory = context_factory
         self.options = options or FMLROptions()
+        self.budget = budget
 
     # -- entry point ------------------------------------------------------
 
@@ -231,12 +268,53 @@ class FMLRParser:
         stats = FMLRStats()
         failures: List[ParseFailure] = []
         accepted: List[Tuple[Any, Any]] = []
+        diagnostics: List[Diagnostic] = []
+        budget = self.budget
         counter = itertools.count()
         initial_stack = _StackNode(0, None, None, None)
         context = self.context_factory()
         heads = self._advance(root_cond, first, manager)
         if not heads:
             return FMLRResult([], failures, stats, manager)
+
+        def shed_forks(live: int) -> None:
+            """Soft kill switch: keep the highest-priority forks, tag
+            the dropped forks' configurations invalid, keep parsing.
+            Live subparser conditions are mutually exclusive, so
+            dropping a fork abandons exactly its configurations."""
+            keep = max(1, options.kill_switch // 2)
+            alive = [entry[2] for entry in queue if entry[2].alive]
+            alive.sort(key=self._priority)
+            victims = alive[max(0, keep - 1):]  # the stepped one stays
+            if not victims:
+                return
+            dropped_cond = manager.disjoin(
+                victim.condition(manager) for victim in victims)
+            for victim in victims:
+                victim.alive = False
+            live_count[0] -= len(victims)
+            stats.kill_switch_trips += 1
+            stats.dropped_subparsers += len(victims)
+            diagnostics.append(Diagnostic(
+                dropped_cond, SEVERITY_CONFIG, PHASE_PARSE,
+                f"subparser budget {options.kill_switch} exceeded "
+                f"({live} live): dropped {len(victims)} lowest-priority "
+                f"forks"))
+
+        def trip_bdd_budget(current: Subparser) -> None:
+            """Resource budget: abandon all remaining work, tagging the
+            still-unparsed configurations invalid."""
+            remaining = current.condition(manager)
+            for entry in queue:
+                if entry[2].alive:
+                    remaining = remaining | entry[2].condition(manager)
+                    entry[2].alive = False
+            queue.clear()
+            diagnostics.append(Diagnostic(
+                remaining, SEVERITY_CONFIG, PHASE_RESOURCE,
+                f"BDD budget of {budget.max_bdd_nodes} nodes exceeded "
+                f"({manager.num_nodes()} allocated): parse abandoned "
+                f"for the remaining configurations"))
         # The queue uses lazy deletion: subparsers merged away are
         # flagged dead and skipped on pop.  Merging happens on insert,
         # against live subparsers with the same heads and stack shape
@@ -292,14 +370,22 @@ class FMLRParser:
             if live > stats.max_subparsers:
                 stats.max_subparsers = live
             if live > options.kill_switch:
-                raise SubparserExplosion(live, options.kill_switch)
+                if options.hard_kill_switch:
+                    raise SubparserExplosion(live, options.kill_switch)
+                shed_forks(live)
+            if budget is not None and budget.max_bdd_nodes \
+                    and stats.iterations % 64 == 0 \
+                    and manager.num_nodes() > budget.max_bdd_nodes:
+                trip_bdd_budget(subparser)
+                break
             successors = self._step(subparser, manager, accepted,
                                     failures, stats)
             if len(successors) > 1:
                 stats.forks += len(successors) - 1
             for successor in successors:
                 insert(successor)
-        return FMLRResult(accepted, failures, stats, manager)
+        return FMLRResult(accepted, failures, stats, manager,
+                          diagnostics, degraded=bool(diagnostics))
 
     # -- scheduling -------------------------------------------------------
 

@@ -75,12 +75,16 @@ class CheckOutcome:
 
     def __init__(self, filename: str, configs_checked: int,
                  disagreements: List[Disagreement],
-                 superc_ok: bool, superc_error: Optional[str]):
+                 superc_ok: bool, superc_error: Optional[str],
+                 superc_status: Optional[str] = None):
         self.filename = filename
         self.configs_checked = configs_checked
         self.disagreements = disagreements
         self.superc_ok = superc_ok
         self.superc_error = superc_error
+        # The config-preserving pipeline's own verdict ("ok",
+        # "degraded", "parse-failed"), or None when it raised.
+        self.superc_status = superc_status
 
     @property
     def ok(self) -> bool:
@@ -273,7 +277,8 @@ class DifferentialChecker:
 
         return CheckOutcome(filename, len(chosen), disagreements,
                             result is not None and result.ok,
-                            superc_error)
+                            superc_error,
+                            getattr(result, "status", None))
 
     def _check_config(self, text, filename, result, superc_error,
                       config) -> Optional[List[Disagreement]]:
@@ -308,9 +313,12 @@ class DifferentialChecker:
             # A conditional #error (or guarded hard error) covers this
             # configuration: the oracle must reject it.
             if oracle_error is None:
+                matching = [c.to_expr_string()
+                            for c, _m in result.unit.error_conditions
+                            if c.evaluate(assignment)]
                 conditions = ", ".join(
-                    c.to_expr_string()
-                    for c, _m in result.unit.error_conditions) or "?"
+                    matching or [c.to_expr_string() for c, _m in
+                                 result.unit.error_conditions]) or "?"
                 return [Disagreement(
                     "error-agreement", config,
                     "config-preserving pipeline marks this "
@@ -332,6 +340,16 @@ class DifferentialChecker:
 
         if not self.parse:
             return None
+
+        degraded = [diag for diag in result.parse.diagnostics
+                    if diag.condition.evaluate(assignment)]
+        if degraded:
+            # The parser degraded this configuration away (kill-switch
+            # shedding or a resource-budget trip).  The projected
+            # tokens above are still authoritative, but there is no
+            # parse claim left to cross-check — agreement by absence,
+            # though not a clean parse.
+            return []
 
         accepted = [cond for cond, _v in result.parse.accepted
                     if cond.evaluate(assignment)]

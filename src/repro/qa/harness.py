@@ -20,7 +20,9 @@ from typing import Dict, List, Optional
 
 from repro.corpus.fuzz import FuzzSpec, FuzzUnit, generate_fuzz_unit
 from repro.engine.metrics import MetricsStream
-from repro.engine.results import (STATUS_DISAGREE, STATUS_OK,
+from repro.engine.results import (STATUS_CRASHED, STATUS_DEGRADED,
+                                  STATUS_DISAGREE, STATUS_ERROR,
+                                  STATUS_OK, STATUS_TIMEOUT,
                                   CorpusReport)
 from repro.engine.scheduler import BatchEngine, CorpusJob, EngineConfig
 from repro.qa.differential import DifferentialChecker
@@ -77,9 +79,17 @@ def run_fuzz_unit(state: dict, unit: str) -> dict:
     outcome = check_unit(checker, fuzz_unit)
     seconds = time.perf_counter() - start
     disagreements = [d.to_record() for d in outcome.disagreements]
+    if disagreements:
+        status = STATUS_DISAGREE
+    elif outcome.superc_status == STATUS_DEGRADED:
+        # Both pipelines agree, but the config-preserving result is
+        # partial (confined errors / shed configurations).
+        status = STATUS_DEGRADED
+    else:
+        status = STATUS_OK
     record = {
         "unit": unit,
-        "status": STATUS_DISAGREE if disagreements else STATUS_OK,
+        "status": status,
         "cache": "miss",
         "seconds": round(seconds, 6),
         "timing": {"lex": 0.0, "preprocess": 0.0,
@@ -131,8 +141,13 @@ class FuzzReport:
 
     @property
     def clean(self) -> bool:
+        """No counterexamples and no unit that disagreed, crashed,
+        errored, or timed out.  Degraded units (error agreement held,
+        configurations were confined) do not break cleanliness."""
+        bad = (STATUS_DISAGREE, STATUS_ERROR, STATUS_TIMEOUT,
+               STATUS_CRASHED)
         return not self.counterexamples and \
-            STATUS_DISAGREE not in self.report.by_status
+            not any(s in self.report.by_status for s in bad)
 
 
 def _error_fingerprint(detail: str) -> str:

@@ -25,10 +25,18 @@ from repro.bdd import BDDManager
 from repro.cgrammar import (SymbolStats, c_tables, classify,
                             make_context_factory)
 from repro.cpp import CompilationUnit, FileSystem, Preprocessor
+from repro.cpp.tree import token_count
+from repro.errors import (Diagnostic, PHASE_RESOURCE, ResourceBudget,
+                          SEVERITY_CONFIG, SEVERITY_WARNING)
 from repro.parser.fmlr import (FMLROptions, FMLRParser, FMLRResult,
-                               ParseFailure)
+                               FMLRStats, ParseFailure)
 from repro.parser.lalr import Tables
 from repro.parser.lr import LRParser
+
+# SuperCResult.status values.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_PARSE_FAILED = "parse-failed"
 
 
 class Timing:
@@ -71,6 +79,41 @@ class SuperCResult:
     def failures(self) -> List[ParseFailure]:
         return self.parse.failures
 
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All condition-scoped diagnostics, preprocessing then parse."""
+        return list(self.unit.diagnostics) + list(self.parse.diagnostics)
+
+    @property
+    def invalid_configs(self) -> Any:
+        """BDD over configurations with no usable AST: recorded
+        preprocessor error conditions plus rejected or degraded-away
+        parse configurations."""
+        return ~self.unit.feasible_condition | self.parse.invalid_configs
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
+
+    @property
+    def status(self) -> str:
+        """``ok`` (every feasible configuration parsed, nothing
+        confined), ``degraded`` (a partial result: some configurations
+        were pruned, rejected, or degraded away, but an AST exists), or
+        ``parse-failed`` (no configuration produced an AST)."""
+        has_config_errors = bool(self.unit.error_conditions) or any(
+            diag.severity == SEVERITY_CONFIG
+            for diag in self.unit.diagnostics)
+        if self.parse.accepted:
+            if self.parse.failures or self.parse.degraded \
+                    or has_config_errors:
+                return STATUS_DEGRADED
+            return STATUS_OK
+        if self.parse.degraded and not self.parse.failures:
+            # Everything still live was degraded away before acceptance.
+            return STATUS_DEGRADED
+        return STATUS_PARSE_FAILED
+
 
 class SuperC:
     """Configuration-preserving parser for all of C."""
@@ -81,7 +124,8 @@ class SuperC:
                  extra_definitions: Optional[Dict[str, str]] = None,
                  options: Optional[FMLROptions] = None,
                  tables: Optional[Tables] = None,
-                 context_factory_maker: Optional[Callable] = None):
+                 context_factory_maker: Optional[Callable] = None,
+                 budget: Optional[ResourceBudget] = None):
         self.fs = fs
         self.include_paths = list(include_paths)
         self.builtins = builtins
@@ -89,6 +133,8 @@ class SuperC:
         # any other overrides) are supplied here.
         self.extra_definitions = extra_definitions
         self.options = options
+        # Per-unit resource limits; trips degrade instead of crashing.
+        self.budget = budget
         # Prebuilt tables and a (manager, stats) -> context-factory
         # maker can be injected so repeated construction — the batch
         # engine builds one SuperC per corpus job per worker — shares
@@ -133,15 +179,34 @@ class SuperC:
     def _preprocessor(self) -> Preprocessor:
         return Preprocessor(self.fs, include_paths=self.include_paths,
                             builtins=self.builtins,
-                            extra_definitions=self.extra_definitions)
+                            extra_definitions=self.extra_definitions,
+                            budget=self.budget)
 
     def _parse_unit(self, unit: CompilationUnit, lex_seconds: float,
                     pp_seconds: float) -> SuperCResult:
         symbol_stats = SymbolStats()
+        budget = self.budget
+        if budget is not None and budget.max_tokens:
+            total = token_count(unit.tree)
+            if total > budget.max_tokens:
+                # Too large to parse under this budget: return a
+                # degraded result covering every feasible configuration
+                # instead of attempting (and possibly thrashing on) the
+                # parse.
+                diagnostic = Diagnostic(
+                    unit.feasible_condition, SEVERITY_CONFIG,
+                    PHASE_RESOURCE,
+                    f"token budget of {budget.max_tokens} exceeded "
+                    f"({total} tokens): parse skipped")
+                parse = FMLRResult([], [], FMLRStats(), unit.manager,
+                                   [diagnostic], degraded=True)
+                return SuperCResult(unit, parse, symbol_stats,
+                                    Timing(lex_seconds, pp_seconds, 0.0))
         factory = self.context_factory_maker(unit.manager, symbol_stats)
         parser = FMLRParser(self.tables, classify,
                             context_factory=factory,
-                            options=self.options)
+                            options=self.options,
+                            budget=budget)
         parse_start = time.perf_counter()
         result = parser.parse(unit.tree, unit.manager,
                               unit.feasible_condition)

@@ -15,8 +15,13 @@ Figure 8 subparser rollup, latency totals) is printed.  ``--metrics``
 streams per-unit JSON-lines events; ``--json`` prints the aggregate
 report as JSON.
 
-Exit status: 0 when every unit parsed in every configuration, 1 when
-any unit failed, 2 for usage errors (no units found).
+Exit status: 0 when every unit produced a usable result — ``ok`` or
+``degraded`` (partial AST with condition-scoped diagnostics; confined
+errors and dropped configurations count as coverage, not failure) —
+1 when any unit parse-failed, errored, timed out, or was abandoned by
+the crash-loop circuit breaker (``crashed``), 2 for usage errors (no
+units found).  The report's ``diagnostics:`` line is the corpus-wide
+``phase/severity`` histogram of confined errors.
 """
 
 from __future__ import annotations

@@ -10,8 +10,18 @@ statistics (``--stats``), per-configuration projections
 (``--project defined:CONFIG_X ...``), or a machine-readable summary
 (``--json``).
 
-Exit status: 0 on success, 1 when any configuration fails to parse,
-2 when the input cannot be read, 3 on a preprocessor/lexer error.
+Exit status:
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     every configuration parsed cleanly
+1     some configuration failed to parse (no degradation)
+2     partial result — configurations were confined or dropped
+      (``degraded``); also: the input file cannot be read
+3     fatal error — a TRUE-condition preprocessor or lexer error
+      (no configuration survives)
+====  ==========================================================
 """
 
 from __future__ import annotations
@@ -23,9 +33,14 @@ from typing import List, Optional
 
 from repro.baselines import FormulaManager
 from repro.cpp import PreprocessorError, RealFileSystem, render
+from repro.lexer.lexer import LexerError
 from repro.parser.ast import dump, iter_tokens, project
 from repro.parser.fmlr import OPTIMIZATION_LEVELS
-from repro.superc import SuperC
+from repro.superc import (STATUS_DEGRADED, STATUS_OK,
+                          STATUS_PARSE_FAILED, SuperC)
+
+EXIT_BY_STATUS = {STATUS_OK: 0, STATUS_PARSE_FAILED: 1,
+                  STATUS_DEGRADED: 2}
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -90,7 +105,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "error": "cannot read file"}))
         print(f"error: cannot read {args.file}", file=sys.stderr)
         return 2
-    except PreprocessorError as error:
+    except (PreprocessorError, LexerError) as error:
+        # A hard failure: the error holds under the TRUE condition, so
+        # no configuration survives confinement.
         if args.json:
             print(json.dumps({"unit": args.file, "status": "error",
                               "error": str(error)}))
@@ -101,8 +118,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         record = record_from_result(args.file, result,
                                     seconds=result.timing.total)
         print(json.dumps(record, indent=2, sort_keys=True))
-        return 0 if result.ok else 1
-    status = "ok" if result.ok else "FAILED in some configurations"
+        return EXIT_BY_STATUS.get(record["status"], 1)
+    if result.status == STATUS_OK:
+        status = "ok"
+    elif result.status == STATUS_DEGRADED:
+        status = ("degraded — some configurations confined or "
+                  "dropped; partial AST")
+    else:
+        status = "FAILED in some configurations"
     print(f"{args.file}: {status}")
     print(f"  configurations accepted: {len(result.parse.accepted)} "
           f"subparser group(s); failures: {len(result.failures)}")
@@ -114,6 +137,10 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{result.timing.parse:.3f}s")
     for failure in result.failures[:5]:
         print(f"  error: {failure}")
+    for diag in result.diagnostics[:8]:
+        origin = f" at {diag.origin}" if diag.origin else ""
+        print(f"  {diag.severity} [{diag.phase}]{origin} under "
+              f"{diag.condition.to_expr_string()}: {diag.message}")
     if args.stats:
         _print_stats(result.unit.stats.as_dict())
     if args.dump_ast:
@@ -124,7 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         tokens = " ".join(t.text for t in iter_tokens(projected))
         print(f"--- projection [{variable}] ---")
         print(tokens)
-    return 0 if result.ok else 1
+    return EXIT_BY_STATUS.get(result.status, 1)
 
 
 def _print_stats(stats: dict) -> None:

@@ -73,12 +73,23 @@ class TestParseCli:
         assert "* 2" in out or "*2" in out
 
     def test_parse_error_exit_code(self, tmp_path, capsys):
+        # Broken in every configuration: a hard parse failure.
         bad = tmp_path / "bad.c"
-        bad.write_text("#ifdef A\nint x = ;\n#endif\nint y;\n")
+        bad.write_text("int x = ;\nint y;\n")
         code = parse_cli.main([str(bad)])
         out = capsys.readouterr().out
         assert code == 1
         assert "FAILED" in out
+
+    def test_degraded_exit_code(self, tmp_path, capsys):
+        # Broken only under A: the other configurations still parse,
+        # so the result is partial ("degraded", exit 2).
+        bad = tmp_path / "partial.c"
+        bad.write_text("#ifdef A\nint x = ;\n#endif\nint y;\n")
+        code = parse_cli.main([str(bad)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "degraded" in out
 
     def test_define_option(self, tmp_path, capsys):
         src = tmp_path / "d.c"
@@ -106,12 +117,33 @@ class TestParseCli:
 
     def test_json_parse_failure(self, tmp_path, capsys):
         bad = tmp_path / "bad.c"
-        bad.write_text("#ifdef A\nint x = ;\n#endif\nint y;\n")
+        bad.write_text("int x = ;\nint y;\n")
         code = parse_cli.main([str(bad), "--json"])
         record = json.loads(capsys.readouterr().out)
         assert code == 1
         assert record["status"] == "parse-failed"
         assert record["failures"]
+
+    def test_json_degraded(self, tmp_path, capsys):
+        bad = tmp_path / "partial.c"
+        bad.write_text("#ifdef A\nint x = ;\n#endif\nint y;\n")
+        code = parse_cli.main([str(bad), "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert record["status"] == "degraded"
+        assert record["invalid_configs"]
+
+    def test_json_guarded_error_diagnostics(self, tmp_path, capsys):
+        src = tmp_path / "guarded.c"
+        src.write_text('#ifdef BROKEN\n#error "no BROKEN builds"\n'
+                       "#endif\nint fine;\n")
+        code = parse_cli.main([str(src), "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert record["status"] == "degraded"
+        diags = record["diagnostics"]
+        assert diags and diags[0]["severity"] == "config-error"
+        assert "defined:BROKEN" in record["invalid_configs"]
 
     def test_preprocessor_error_exit_code(self, tmp_path, capsys):
         src = tmp_path / "pperr.c"
@@ -170,13 +202,23 @@ class TestBatchCli:
     def test_failure_exit_code(self, tmp_path, capsys):
         tree = tmp_path / "tree"
         tree.mkdir()
-        (tree / "bad.c").write_text(
-            "#ifdef A\nint x = ;\n#endif\nint y;\n")
+        (tree / "bad.c").write_text("int x = ;\nint y;\n")
         code = batch_cli.main([str(tree),
                                "--cache-dir", str(tmp_path / "cache")])
         out = capsys.readouterr().out
         assert code == 1
         assert "parse-failed: 1" in out
+
+    def test_degraded_counts_as_coverage(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "partial.c").write_text(
+            "#ifdef A\nint x = ;\n#endif\nint y;\n")
+        code = batch_cli.main([str(tree),
+                               "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degraded: 1" in out
 
     def test_empty_tree(self, tmp_path, capsys):
         tree = tmp_path / "empty"

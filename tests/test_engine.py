@@ -8,9 +8,15 @@ import pytest
 from repro.corpus import KernelSpec, generate_kernel
 from repro.cpp import DictFileSystem
 from repro.engine import (BatchEngine, CorpusJob, CorpusReport,
-                          EngineConfig, MetricsStream, STATUS_ERROR,
-                          STATUS_OK, STATUS_TIMEOUT, format_report,
-                          include_closure_digest, percentile)
+                          EngineConfig, MetricsStream, STATUS_DEGRADED,
+                          STATUS_ERROR, STATUS_OK, STATUS_TIMEOUT,
+                          format_report, include_closure_digest,
+                          percentile)
+
+# Statuses that count as a usable result: the synthetic corpus's
+# drivers carry guarded #error directives (mutually exclusive config
+# options), which error confinement now reports as "degraded".
+USABLE = (STATUS_OK, STATUS_DEGRADED)
 
 # Small but real: 2 compilation units with the full Table 1 feature mix.
 SMALL_SPEC = KernelSpec(seed=11, subsystems=1, drivers_per_subsystem=2,
@@ -50,7 +56,12 @@ class TestSerialRun:
         report = BatchEngine(make_config(tmp_path)).run(job)
         assert report.units == len(small_corpus.units)
         assert report.all_ok
-        assert report.by_status == {STATUS_OK: report.units}
+        assert set(report.by_status) <= set(USABLE)
+        assert report.ok + report.degraded == report.units
+        # The drivers' mutually-exclusive-options #error is confined,
+        # not fatal: those units come back degraded with diagnostics.
+        assert report.degraded > 0
+        assert report.diagnostic_rollup()
 
     def test_record_schema(self, small_corpus, tmp_path):
         job = CorpusJob.from_corpus(small_corpus)
@@ -69,13 +80,27 @@ class TestSerialRun:
         assert json.loads(json.dumps(record)) == record
 
     def test_parse_failure_status(self, tmp_path):
+        # Unconditionally broken: no configuration parses, so this is
+        # a hard parse failure, not a degraded partial result.
         job = CorpusJob(["broken.c"],
-                        files={"broken.c": "#ifdef A\nint x = ;\n"
-                                           "#endif\nint y;\n"})
+                        files={"broken.c": "int x = ;\nint y;\n"})
         report = BatchEngine(make_config(tmp_path)).run(job)
         assert report.by_status == {"parse-failed": 1}
         assert not report.all_ok
         assert report.records[0]["failures"]
+
+    def test_conditional_parse_failure_degrades(self, tmp_path):
+        # Broken only under A: the !A configuration still yields an
+        # AST, so the unit is degraded rather than parse-failed.
+        job = CorpusJob(["partial.c"],
+                        files={"partial.c": "#ifdef A\nint x = ;\n"
+                                            "#endif\nint y;\n"})
+        report = BatchEngine(make_config(tmp_path)).run(job)
+        assert report.by_status == {STATUS_DEGRADED: 1}
+        assert report.all_ok
+        record = report.records[0]
+        assert record["failures"]
+        assert record["invalid_configs"]
 
     def test_unreadable_unit_is_error(self, tmp_path):
         job = CorpusJob(["missing.c"], files={})
@@ -105,7 +130,7 @@ class TestParallelRun:
         statuses = report.statuses()
         assert statuses[bad] == STATUS_ERROR
         for unit in job.units[1:]:
-            assert statuses[unit] == STATUS_OK
+            assert statuses[unit] in USABLE
         bad_record = [r for r in report.records if r["unit"] == bad][0]
         assert bad_record["attempt"] == 2  # retried once
         assert "injected failure" in bad_record["error"]
@@ -125,7 +150,7 @@ class TestTimeoutAndRetry:
         statuses = report.statuses()
         assert statuses[bad] == STATUS_TIMEOUT
         for unit in job.units[:-1]:
-            assert statuses[unit] == STATUS_OK
+            assert statuses[unit] in USABLE
         bad_record = [r for r in report.records if r["unit"] == bad][0]
         assert bad_record["attempt"] == 2
         assert "deadline" in bad_record["error"]
@@ -198,7 +223,7 @@ class TestResultCache:
         warm = BatchEngine(config).run(job)
         by_unit = {r["unit"]: r for r in warm.records}
         assert by_unit[bad]["cache"] == "miss"
-        assert by_unit[bad]["status"] == STATUS_OK
+        assert by_unit[bad]["status"] in USABLE
 
 
 class TestIncludeClosureDigest:
@@ -243,8 +268,10 @@ class TestMetricsStream:
                         "seconds", "timing", "subparsers", "ts",
                         "schema"):
                 assert key in event
-        assert events[-1]["summary"]["by_status"] == \
-            {STATUS_OK: len(job.units)}
+        by_status = events[-1]["summary"]["by_status"]
+        assert set(by_status) <= set(USABLE)
+        assert sum(by_status.values()) == len(job.units)
+        assert "diagnostics" in events[-1]["summary"]
 
     def test_jsonl_file_sink(self, small_corpus, tmp_path):
         job = CorpusJob.from_corpus(small_corpus)

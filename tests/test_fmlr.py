@@ -252,9 +252,33 @@ class TestOptimizationLevels:
         source = "\n".join(lines)
         options = FMLROptions(follow_set=False, lazy_shifts=False,
                               shared_reduces=False, early_reduces=False,
-                              choice_merging=False, kill_switch=500)
+                              choice_merging=False, kill_switch=500,
+                              hard_kill_switch=True)
         with pytest.raises(SubparserExplosion):
             parse_source(source, options=options)
+
+    def test_figure6_mapr_soft_kill_switch_degrades(self):
+        """By default the kill switch is a budget: on trip the parse
+        sheds low-priority forks, tags their configurations invalid,
+        and still returns a partial result."""
+        lines = []
+        for index in range(18):
+            lines += [f"#ifdef CONFIG_{index}", f"check_{index} ;",
+                      "#endif"]
+        lines.append("nullend ;")
+        source = "\n".join(lines)
+        options = FMLROptions(follow_set=False, lazy_shifts=False,
+                              shared_reduces=False, early_reduces=False,
+                              choice_merging=False, kill_switch=500)
+        unit, result = parse_source(source, options=options)
+        assert result.degraded
+        assert not result.ok
+        assert result.stats.kill_switch_trips >= 1
+        assert result.stats.dropped_subparsers > 0
+        assert result.diagnostics
+        assert not result.invalid_configs.is_false()
+        # The configurations NOT tagged invalid did parse.
+        assert result.accepted
 
     def test_shared_reduce_counted(self):
         _unit, result = parse_source(self.SOURCE)
