@@ -2,7 +2,8 @@
 # without installation.
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke-batch fuzz-smoke robustness-smoke bench clean-cache
+.PHONY: test smoke-batch fuzz-smoke robustness-smoke trace-smoke \
+	bench clean-cache
 
 # Tier 1: the full unit-test suite (must stay green).
 test:
@@ -33,6 +34,22 @@ robustness-smoke:
 	$(PY) -m pytest -x -q tests/test_robustness.py
 	$(PY) -m repro.tools.fuzz_cli --seed 0 --units 12 --timeout 60 \
 	    --weight guarded_error=4 --weight guarded_missing_include=3
+
+# Tier 2: observability smoke — trace the paper's Figure 1 mousedev
+# example end-to-end with the repro.obs layer, check the emitted
+# Chrome trace_event JSON against the format validator, and print the
+# per-unit profile.  Catches tracer/exporter regressions in seconds.
+trace-smoke:
+	$(PY) -m repro.tools.parse_cli examples/mousedev.c \
+	    -I examples/include --profile \
+	    --trace /tmp/repro-trace-smoke.json
+	$(PY) -c "import json, sys; \
+	  from repro.obs import validate_chrome_trace; \
+	  trace = json.load(open('/tmp/repro-trace-smoke.json')); \
+	  problems = validate_chrome_trace(trace); \
+	  sys.exit('invalid trace: ' + '; '.join(problems) \
+	           if problems else 0); \
+	  " && echo "trace-smoke: trace valid"
 
 # Full benchmark suite (Tables 2-3, Figures 8-10, scaling + speedup).
 bench:

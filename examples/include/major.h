@@ -1,0 +1,6 @@
+#ifndef _MAJOR_H
+#define _MAJOR_H
+
+#define MISC_MAJOR 10
+
+#endif

@@ -1,0 +1,31 @@
+/* The paper's Figure 1 example (drivers/input/mousedev.c, edited
+ * down): a conditional inside a statement position, a macro from an
+ * included header, and a configuration-dependent branch.  Used by the
+ * trace-smoke Makefile target:
+ *
+ *   superc-parse examples/mousedev.c -I examples/include \
+ *       --trace /tmp/mousedev-trace.json --profile
+ */
+
+#include "major.h"   /* defines MISC_MAJOR to be 10 */
+
+#define MOUSEDEV_MIX        31
+#define MOUSEDEV_MINOR_BASE 32
+
+static int mousedev_open(struct inode *inode, struct file *file)
+{
+  int i;
+
+#ifdef CONFIG_INPUT_MOUSEDEV_PSAUX
+  if (imajor(inode) == MISC_MAJOR)
+    i = MOUSEDEV_MIX;
+  else
+#endif
+  i = iminor(inode) - MOUSEDEV_MINOR_BASE;
+
+#if defined(CONFIG_SMP) && !defined(CONFIG_INPUT_MOUSEDEV_PSAUX)
+  i += smp_processor_id();
+#endif
+
+  return i;
+}

@@ -8,9 +8,9 @@ nodes — covering every configuration of a C compilation unit.
 
 Quick start::
 
-    from repro import parse_c
+    import repro
 
-    result = parse_c('''
+    result = repro.parse('''
     #ifdef CONFIG_SMP
     int nr_cpus = 8;
     #else
@@ -19,6 +19,13 @@ Quick start::
     ''')
     result.ast          # AST with a StaticChoice for the conditional
     result.ok           # every configuration parsed
+    result.status       # Result protocol: ok | degraded | parse-failed
+
+``repro.parse`` / ``repro.Session`` / ``repro.Config`` (from
+:mod:`repro.api`) are the unified facade; ``parse_c`` remains as the
+legacy convenience.  Pass ``tracer=repro.obs.Tracer()`` to observe the
+pipeline (spans, counters, Chrome-traceable events — see
+:mod:`repro.obs`).
 
 Package map: :mod:`repro.bdd` (presence conditions),
 :mod:`repro.lexer`, :mod:`repro.cpp` (configuration-preserving
@@ -29,6 +36,7 @@ preprocessing), :mod:`repro.parser` (LALR + FMLR engines),
 (the paper's tables and figures).
 """
 
+from repro.api import Config, Session, is_result, parse
 from repro.bdd import BDDManager
 from repro.cpp import (CompilationUnit, Conditional, DictFileSystem,
                        Preprocessor, PreprocessorError,
@@ -45,13 +53,14 @@ from repro.superc import (STATUS_DEGRADED, STATUS_OK,
 __version__ = "1.0.0"
 
 __all__ = [
-    "BDDManager", "CompilationUnit", "Conditional", "Diagnostic",
-    "DictFileSystem",
+    "BDDManager", "CompilationUnit", "Conditional", "Config",
+    "Diagnostic", "DictFileSystem",
     "FMLROptions", "FMLRParser", "Node", "OPTIMIZATION_LEVELS",
     "ParseError", "Preprocessor", "PreprocessorError",
     "RealFileSystem", "ResourceBudget", "SEVERITY_CONFIG",
     "SEVERITY_FATAL", "SEVERITY_WARNING", "STATUS_DEGRADED",
-    "STATUS_OK", "STATUS_PARSE_FAILED",
+    "STATUS_OK", "STATUS_PARSE_FAILED", "Session",
     "SimplePreprocessor", "StaticChoice", "SuperC",
-    "SuperCResult", "SubparserExplosion", "Timing", "parse_c",
+    "SuperCResult", "SubparserExplosion", "Timing", "is_result",
+    "parse", "parse_c",
 ]

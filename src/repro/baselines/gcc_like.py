@@ -16,28 +16,50 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import deprecated_property
 from repro.bdd import BDDManager
 from repro.cgrammar import c_tables, classify, make_context_factory
 from repro.cpp import FileSystem, SimplePreprocessor
 from repro.lexer.tokens import Token
 from repro.parser.lr import LRParser
+from repro.superc import STATUS_OK, Timing
 
 
 class GccLikeResult:
-    """One single-configuration compile front-end run."""
+    """One single-configuration compile front-end run.
+
+    Implements the uniform Result protocol (:mod:`repro.api`):
+    construction implies a successful parse (failures raise), so
+    ``status`` is always ``ok``.  The old ``*_seconds`` attributes are
+    deprecated aliases for ``timing.*``.
+    """
 
     def __init__(self, tokens: List[Token], ast, lex_seconds: float,
-                 preprocess_seconds: float, parse_seconds: float):
+                 preprocess_seconds: float, parse_seconds: float,
+                 profile=None):
         self.tokens = tokens
         self.ast = ast
-        self.lex_seconds = lex_seconds
-        self.preprocess_seconds = preprocess_seconds
-        self.parse_seconds = parse_seconds
+        self.timing = Timing(lex_seconds, preprocess_seconds,
+                             parse_seconds)
+        self.profile = profile
+
+    status = STATUS_OK
+    ok = True
+    degraded = False
 
     @property
-    def total_seconds(self) -> float:
-        return (self.lex_seconds + self.preprocess_seconds +
-                self.parse_seconds)
+    def diagnostics(self) -> list:
+        return []
+
+    @property
+    def failures(self) -> list:
+        return []
+
+    lex_seconds = deprecated_property("lex_seconds", "timing.lex")
+    preprocess_seconds = deprecated_property("preprocess_seconds",
+                                             "timing.preprocess")
+    parse_seconds = deprecated_property("parse_seconds", "timing.parse")
+    total_seconds = deprecated_property("total_seconds", "timing.total")
 
 
 class GccLike:

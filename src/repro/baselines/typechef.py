@@ -634,6 +634,18 @@ class FormulaManager:
         self.cnf_clauses = 0
         self.tseitin_fallbacks = 0
 
+    def stats(self) -> Dict[str, float]:
+        """Observability snapshot mirroring ``BDDManager.stats`` so
+        per-unit profiles work over either condition algebra."""
+        return {
+            "formulas": len(self._interned),
+            "variables": len(self._vars),
+            "sat_queries": self.sat_queries,
+            "cnf_conversions": self.cnf_conversions,
+            "cnf_clauses": self.cnf_clauses,
+            "tseitin_fallbacks": self.tseitin_fallbacks,
+        }
+
     def tseitin_cnf(self, formula: Formula) -> List[Clause]:
         """DAG-aware Tseitin encoding: every hash-consed node gets one
         auxiliary literal and its defining clauses exactly once,

@@ -311,6 +311,13 @@ class BDDManager:
         self._apply_cache: Dict[Tuple[str, int, int], BDDNode] = {}
         self._not_cache: Dict[int, BDDNode] = {}
         self._next_id = 0
+        # Observability counters (repro.obs): node allocations and
+        # op-cache effectiveness.  Plain integer increments on the
+        # apply path — cheap relative to the dict work they sit next
+        # to, and they make BDD pressure visible in per-unit profiles.
+        self.nodes_created = 0
+        self.apply_calls = 0
+        self.apply_cache_hits = 0
         self.false = self._terminal(False)
         self.true = self._terminal(True)
 
@@ -329,6 +336,7 @@ class BDDManager:
         if node is None:
             node = BDDNode(self, var, low, high, None, self._next_id)
             self._next_id += 1
+            self.nodes_created += 1
             self._unique[key] = node
         return node
 
@@ -356,6 +364,21 @@ class BDDManager:
     def num_nodes(self) -> int:
         """Number of live interned internal nodes (for instrumentation)."""
         return len(self._unique)
+
+    def stats(self) -> Dict[str, float]:
+        """Observability snapshot: node and op-cache counters, with
+        the op-cache hit rate precomputed for profiles."""
+        calls = self.apply_calls
+        return {
+            "nodes": len(self._unique),
+            "nodes_created": self.nodes_created,
+            "variables": len(self._names),
+            "apply_calls": calls,
+            "apply_cache_hits": self.apply_cache_hits,
+            "apply_cache_hit_rate":
+                round(self.apply_cache_hits / calls, 4) if calls
+                else 0.0,
+        }
 
     # -- apply -------------------------------------------------------
 
@@ -407,8 +430,10 @@ class BDDManager:
         if left._id > right._id:
             left, right = right, left
         key = (op, left._id, right._id)
+        self.apply_calls += 1
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.apply_cache_hits += 1
             return cached
         left_var = left.var if left.var is not None else float("inf")
         right_var = right.var if right.var is not None else float("inf")

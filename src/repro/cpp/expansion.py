@@ -50,10 +50,12 @@ class Expander:
 
     def __init__(self, table: MacroTable, manager: Any,
                  stats: Optional[ExpansionStats] = None,
-                 protect_defined: bool = False, sink=None):
+                 protect_defined: bool = False, sink=None, tracer=None):
         self.table = table
         self.manager = manager
         self.stats = stats or ExpansionStats()
+        # Optional repro.obs tracer; records hoist expansion factors.
+        self.tracer = tracer
         # In #if expressions, `defined` and its operand never expand.
         self.protect_defined = protect_defined
         # Error confinement: ``sink(condition, error) -> bool`` is asked
@@ -234,7 +236,7 @@ class Expander:
         self.stats.hoisted_invocations += 1
         region: List = [head] if head is not None else [first_item]
         while True:
-            flat = hoist(condition, region)
+            flat = hoist(condition, region, self.tracer)
             snapshot = vars(self.stats).copy()
             try:
                 branches: List[Tuple[Any, TokenTree]] = []

@@ -21,14 +21,28 @@ from repro.lexer.tokens import Token
 HoistedBranches = List[Tuple[Any, List[Token]]]
 
 
-def hoist(condition: Any, items: TokenTree) -> HoistedBranches:
+def hoist(condition: Any, items: TokenTree,
+          tracer: Any = None) -> HoistedBranches:
     """Flatten ``items`` under ``condition`` per Algorithm 1.
 
     Every branch of the result has a mutually exclusive presence
     condition; together they cover ``condition`` exactly (implicit
     else-branches are materialized as empty token lists).  Infeasible
     combinations (condition simplifies to false) are dropped.
+
+    A ``tracer`` (:mod:`repro.obs`) records the *expansion factor* —
+    how many flat branches one mixed sequence hoisted into, the paper's
+    ``C × B`` blowup — into the ``hoist.expansion`` histogram, once per
+    top-level call (recursive inner hoists are part of that factor,
+    not separate observations).
     """
+    result = _hoist(condition, items)
+    if tracer is not None and tracer.enabled:
+        tracer.record("hoist.expansion", len(result))
+    return result
+
+
+def _hoist(condition: Any, items: TokenTree) -> HoistedBranches:
     # C <- [(c, [])]: one empty branch covering everything.
     result: HoistedBranches = [(condition, [])]
     for item in items:
@@ -43,7 +57,7 @@ def hoist(condition: Any, items: TokenTree) -> HoistedBranches:
         remainder = condition
         for branch_cond, subtree in item.branches:
             remainder = remainder & ~branch_cond
-            for sub_cond, tokens in hoist(branch_cond, subtree):
+            for sub_cond, tokens in _hoist(branch_cond, subtree):
                 hoisted_branches.append((sub_cond, tokens))
         if not remainder.is_false():
             hoisted_branches.append((remainder, []))

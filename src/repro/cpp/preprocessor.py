@@ -55,6 +55,7 @@ from repro.errors import (Diagnostic, PHASE_CONDITION, PHASE_EXPANSION,
 from repro.lexer import lex_logical_lines
 from repro.lexer.lexer import LexerError
 from repro.lexer.tokens import Token, TokenKind
+from repro.obs.tracer import NULL_TRACER
 
 _MAX_INCLUDE_DEPTH = ResourceBudget.DEFAULT_INCLUDE_DEPTH
 
@@ -167,21 +168,28 @@ class Preprocessor:
                  builtins: Optional[Dict[str, str]] = None,
                  manager: Optional[BDDManager] = None,
                  extra_definitions: Optional[Dict[str, str]] = None,
-                 budget: Optional[ResourceBudget] = None):
+                 budget: Optional[ResourceBudget] = None,
+                 tracer: Any = None):
         self.fs = fs or DictFileSystem({})
         self.resolver = IncludeResolver(self.fs, include_paths)
         self.manager = manager or BDDManager()
+        # Observability hooks (repro.obs): per-file spans, the final
+        # macro-expansion span, hoist expansion factors, and diagnostic
+        # events.  NULL_TRACER makes every hook a no-op.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.table = MacroTable(self.manager)
         self.stats = PreprocessorStats()
         self.budget = budget or ResourceBudget()
         self._expansion_stats = ExpansionStats()
         self.expander = Expander(self.table, self.manager,
                                  self._expansion_stats,
-                                 sink=self._expansion_sink)
+                                 sink=self._expansion_sink,
+                                 tracer=self.tracer)
         self.directive_expander = Expander(self.table, self.manager,
                                            self._expansion_stats,
                                            protect_defined=True,
-                                           sink=self._expansion_sink)
+                                           sink=self._expansion_sink,
+                                           tracer=self.tracer)
         builtin_map = DEFAULT_BUILTINS if builtins is None else builtins
         for name, body in builtin_map.items():
             self.table.define_builtin(name, body)
@@ -210,7 +218,8 @@ class Preprocessor:
         if self._frames:
             raise PreprocessorError(
                 f"unterminated conditional in {self._frames[-1].file}")
-        tree = self.expander.expand(self._root, self.manager.true)
+        with self.tracer.span("expand-macros"):
+            tree = self.expander.expand(self._root, self.manager.true)
         self._merge_stats(tree)
         diagnostics = list(self.diagnostics)
         diagnostics.extend(
@@ -237,16 +246,20 @@ class Preprocessor:
                 f"(cycle?) at {filename}", phase=PHASE_INCLUDE)
         self._file_stack.append(filename)
         entry_depth = len(self._frames)
-        lex_start = time.perf_counter()
-        lines = lex_logical_lines(text, filename)
-        self.lex_seconds += time.perf_counter() - lex_start
-        for line in lines:
-            if not line:
-                continue
-            if line[0].kind is TokenKind.HASH:
-                self._directive(line, filename)
-            else:
-                self._text_line(line)
+        # Nested includes recurse through here, so traced runs get the
+        # include tree as nested "file" spans for free.
+        with self.tracer.span("file", name=filename):
+            with self.tracer.span("lex", file=filename):
+                lex_start = time.perf_counter()
+                lines = lex_logical_lines(text, filename)
+                self.lex_seconds += time.perf_counter() - lex_start
+            for line in lines:
+                if not line:
+                    continue
+                if line[0].kind is TokenKind.HASH:
+                    self._directive(line, filename)
+                else:
+                    self._text_line(line)
         if len(self._frames) != entry_depth:
             raise PreprocessorError(
                 f"conditional opened in {filename} is not closed there")
@@ -256,6 +269,14 @@ class Preprocessor:
         if self._frames:
             return self._frames[-1].current_cond
         return self.manager.true
+
+    def _hoist(self, condition: BDDNode, items: Any) -> Any:
+        """Hoist via the module-level ``hoist`` (patchable in tests),
+        recording the expansion factor when tracing."""
+        branches = hoist(condition, items)
+        if self.tracer.enabled:
+            self.tracer.record("hoist.expansion", len(branches))
+        return branches
 
     # -- error confinement ----------------------------------------------------
 
@@ -271,6 +292,10 @@ class Preprocessor:
         self.diagnostics.append(
             Diagnostic(condition, SEVERITY_CONFIG, phase, message,
                        origin_of(token)))
+        if self.tracer.enabled:
+            self.tracer.event("diagnostic", phase=phase,
+                              origin=origin_of(token))
+            self.tracer.count("cpp.confined_errors")
 
     def _confine_or_raise(self, error: PreprocessorError,
                           condition: BDDNode, phase: str) -> None:
@@ -536,7 +561,7 @@ class Preprocessor:
         for token in rest:
             token.version = version
         expanded = self.directive_expander.expand(list(rest), condition)
-        branches = hoist(condition, expanded)
+        branches = self._hoist(condition, expanded)
         if len(branches) > 1:
             self.stats.hoisted_includes += 1
         for branch_cond, tokens in branches:
@@ -689,7 +714,7 @@ class Preprocessor:
         try:
             expanded = self.directive_expander.expand(list(tokens),
                                                       condition)
-            branches = hoist(condition, expanded)
+            branches = self._hoist(condition, expanded)
         except PreprocessorError as error:
             # Expansion/hoisting of the controlling expression failed;
             # the caller still pushes its frame (with a false branch

@@ -32,9 +32,9 @@ from repro.engine.results import (RETRYABLE_STATUSES, STATUS_CRASHED,
                                   STATUS_DEGRADED, STATUS_DISAGREE,
                                   STATUS_ERROR, STATUS_OK,
                                   STATUS_PARSE_FAILED, STATUS_TIMEOUT,
-                                  CorpusReport, error_record,
-                                  format_report, percentile,
-                                  record_from_result)
+                                  CorpusReport, UnitResult,
+                                  error_record, format_report,
+                                  percentile, record_from_result)
 from repro.engine.scheduler import (DEFAULT_OPTIMIZATION, BatchEngine,
                                     CorpusJob, EngineConfig)
 
@@ -45,6 +45,7 @@ __all__ = [
     "STATUS_DEGRADED", "STATUS_DISAGREE",
     "STATUS_ERROR", "STATUS_OK",
     "STATUS_PARSE_FAILED", "STATUS_TIMEOUT", "STREAM_SCHEMA_VERSION",
+    "UnitResult",
     "config_fingerprint", "error_record", "format_report",
     "include_closure_digest", "percentile", "record_from_result",
     "warm_grammar_tables",

@@ -34,7 +34,9 @@ from repro.parser.lalr import to_blob
 # change in what the engine records per unit).
 # 2: records gained "diagnostics"/"invalid_configs"; guarded failures
 #    became STATUS_DEGRADED.
-RESULT_CACHE_VERSION = 2
+# 3: timing gained "total"; records gained "profile" (repro.obs
+#    per-unit profile summary, None when not profiling).
+RESULT_CACHE_VERSION = 3
 
 _INCLUDE_RE = re.compile(
     r'^[ \t]*#[ \t]*include\w*[ \t]+([<"])([^>"\n]+)[>"]', re.MULTILINE)

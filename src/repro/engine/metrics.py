@@ -7,8 +7,11 @@ benchmark post-processing:
 * ``{"event": "run-start", "units": N, "workers": W, ...}``
 * ``{"event": "unit", "unit": ..., "status": ..., "attempt": ...,
   "cache": "hit"|"miss", "seconds": ..., "timing": {...},
-  "subparsers": {...}}`` — one per attempt per unit;
-* ``{"event": "run-end", "summary": {...}}``.
+  "subparsers": {...}, "profile": {...}|None}`` — one per attempt per
+  unit (``profile`` is the :mod:`repro.obs` per-unit summary when the
+  run profiles);
+* ``{"event": "run-end", "summary": {...}}`` — the summary carries a
+  corpus-wide ``profile`` rollup on profiled runs.
 
 Sinks are pluggable: a file path (line-buffered append), a writable
 file object, or any callable taking the event dict.

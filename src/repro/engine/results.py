@@ -10,11 +10,18 @@ between worker processes, the metrics stream, and the result cache:
      "attempt": 1,              # 1-based; >1 after retries
      "cache": "miss",           # hit | miss
      "seconds": 0.41,           # wall time inside the worker
-     "timing": {"lex": ..., "preprocess": ..., "parse": ...},
+     "timing": {"lex": ..., "preprocess": ..., "parse": ...,
+                "total": ...},
      "subparsers": {"max": 7, "forks": 12, "merges": 11},
      "preprocessor": {...},     # PreprocessorStats.as_dict()
+     "profile": {...} | None,   # repro.obs Profile.summary_dict()
      "failures": [...],         # first few parse-failure messages
      "error": None}             # exception repr for status "error"
+
+:class:`UnitResult` wraps a record in the uniform Result protocol
+(``status/ok/degraded/diagnostics/timing/profile``, see
+:mod:`repro.api`), so engine output and single-unit ``SuperCResult``
+objects can be consumed by the same code.
 
 ``aggregate`` folds records into a :class:`CorpusReport`: status
 counts, cache hits, timing totals, and the paper's rollups — Figure 8
@@ -24,7 +31,9 @@ Table 3 style per-counter percentiles over the preprocessor stats.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.profile import merge_profile_summaries
 
 STATUS_OK = "ok"
 # A partial result: an AST exists, but some configurations were pruned
@@ -80,11 +89,15 @@ def record_from_result(unit: str, result, attempt: int = 1,
         "seconds": round(seconds, 6),
         "timing": {"lex": round(result.timing.lex, 6),
                    "preprocess": round(result.timing.preprocess, 6),
-                   "parse": round(result.timing.parse, 6)},
+                   "parse": round(result.timing.parse, 6),
+                   "total": round(result.timing.total, 6)},
         "subparsers": {"max": stats.max_subparsers,
                        "forks": stats.forks,
                        "merges": stats.merges},
         "preprocessor": result.unit.stats.as_dict(),
+        "profile": (result.profile.summary_dict()
+                    if getattr(result, "profile", None) is not None
+                    else None),
         "failures": failures,
         "diagnostics": diagnostics,
         "invalid_configs": (None if invalid.is_false()
@@ -102,14 +115,74 @@ def error_record(unit: str, status: str, message: str,
         "attempt": attempt,
         "cache": "miss",
         "seconds": round(seconds, 6),
-        "timing": {"lex": 0.0, "preprocess": 0.0, "parse": 0.0},
+        "timing": {"lex": 0.0, "preprocess": 0.0, "parse": 0.0,
+                   "total": 0.0},
         "subparsers": {"max": 0, "forks": 0, "merges": 0},
         "preprocessor": {},
+        "profile": None,
         "failures": [],
         "diagnostics": [],
         "invalid_configs": None,
         "error": message,
     }
+
+
+class UnitResult:
+    """Result-protocol view over one unit record dict.
+
+    ``diagnostics`` are the serialized diagnostic dicts carried by the
+    record (not live ``Diagnostic`` objects), and ``profile`` is the
+    JSON profile summary dict (or None) — the shapes that survive the
+    worker boundary.
+    """
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: dict):
+        self.record = record
+
+    @property
+    def unit(self) -> str:
+        return self.record["unit"]
+
+    @property
+    def status(self) -> str:
+        return self.record["status"]
+
+    @property
+    def ok(self) -> bool:
+        return self.record["status"] == STATUS_OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.record["status"] == STATUS_DEGRADED
+
+    @property
+    def diagnostics(self) -> List[dict]:
+        return list(self.record.get("diagnostics") or ())
+
+    @property
+    def failures(self) -> List[str]:
+        return list(self.record.get("failures") or ())
+
+    @property
+    def timing(self) -> Any:
+        from repro.superc import Timing
+        timing = self.record.get("timing") or {}
+        return Timing(timing.get("lex", 0.0),
+                      timing.get("preprocess", 0.0),
+                      timing.get("parse", 0.0))
+
+    @property
+    def profile(self) -> Optional[dict]:
+        return self.record.get("profile")
+
+    @property
+    def error(self) -> Optional[str]:
+        return self.record.get("error")
+
+    def __repr__(self) -> str:
+        return f"UnitResult({self.unit!r}, {self.status!r})"
 
 
 class CorpusReport:
@@ -176,6 +249,10 @@ class CorpusReport:
         return {record["unit"]: record["status"]
                 for record in self.records}
 
+    def unit_results(self) -> List[UnitResult]:
+        """Result-protocol views over every record."""
+        return [UnitResult(record) for record in self.records]
+
     def subparser_rollup(self) -> Dict[str, float]:
         """Figure 8: percentiles of per-unit max live subparsers, plus
         corpus-total forks/merges."""
@@ -222,9 +299,19 @@ class CorpusReport:
                       for p in PERCENTILES}
                 for key, values in sorted(counters.items())}
 
+    def profile_rollup(self) -> Optional[dict]:
+        """Corpus-wide aggregate of the per-unit observability
+        profiles (phases and counters summed, histograms combined);
+        None when no record carries a profile (un-profiled run)."""
+        summaries = [record["profile"] for record in self.records
+                     if record.get("profile")]
+        if not summaries:
+            return None
+        return merge_profile_summaries(summaries)
+
     def summary(self) -> dict:
         """The run-end metrics event payload."""
-        return {
+        payload = {
             "units": self.units,
             "by_status": dict(self.by_status),
             "cache_hits": self.cache_hits,
@@ -235,6 +322,10 @@ class CorpusReport:
             "subparsers": self.subparser_rollup(),
             "diagnostics": self.diagnostic_rollup(),
         }
+        rollup = self.profile_rollup()
+        if rollup is not None:
+            payload["profile"] = rollup
+        return payload
 
 
 def format_report(report: CorpusReport, verbose: bool = False) -> str:

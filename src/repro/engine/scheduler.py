@@ -57,7 +57,8 @@ class EngineConfig:
                  backoff_max: float = 2.0,
                  backoff_jitter: float = 0.5,
                  backoff_seed: int = 0,
-                 crash_loop_threshold: int = 3):
+                 crash_loop_threshold: int = 3,
+                 profile: bool = False):
         if optimization not in OPTIMIZATION_LEVELS:
             raise ValueError(f"unknown optimization {optimization!r}")
         self.workers = max(1, workers)
@@ -79,6 +80,11 @@ class EngineConfig:
         # this many consecutive attempts is marked STATUS_CRASHED and
         # permanently dropped from retrying (0 disables).
         self.crash_loop_threshold = max(0, crash_loop_threshold)
+        # Observability: give every worker's SuperC an enabled
+        # repro.obs tracer, so each record carries a per-unit profile
+        # and the report gains a corpus profile rollup.  Off by
+        # default — the null tracer keeps the hot path allocation-free.
+        self.profile = profile
         # Test/benchmark instrumentation: called with the unit path
         # before each parse attempt.  A dotted "pkg.mod:name" string is
         # resolved inside the worker (start-method agnostic); a bare
@@ -172,17 +178,26 @@ def _resolve_hook(hook: Union[None, str, Callable]) -> Optional[Callable]:
 
 def _init_worker(job: CorpusJob, optimization: str,
                  timeout_seconds: float,
-                 fault_hook: Union[None, str, Callable]) -> None:
+                 fault_hook: Union[None, str, Callable],
+                 profile: bool = False) -> None:
     """Build per-process state once: filesystem, tables, SuperC."""
     # Lazy import keeps worker bootstrap (and pickling) lean.
     from repro.cgrammar import c_tables
     from repro.superc import SuperC
+    tracer = None
+    if profile:
+        # One tracer per worker process, reused across units; SuperC
+        # windows it per unit (Tracer.mark/since) when building each
+        # result's Profile.
+        from repro.obs.tracer import Tracer
+        tracer = Tracer()
     superc = SuperC(job.filesystem(),
                     include_paths=job.include_paths,
                     builtins=job.builtins,
                     extra_definitions=job.extra_definitions,
                     options=OPTIMIZATION_LEVELS[optimization],
-                    tables=c_tables())
+                    tables=c_tables(),
+                    tracer=tracer)
     _STATE["superc"] = superc
     _STATE["timeout"] = timeout_seconds
     _STATE["hook"] = _resolve_hook(fault_hook)
@@ -226,8 +241,13 @@ def _run_unit(task: Tuple[str, int]) -> dict:
                                 f"cannot read {unit}", attempt,
                                 time.perf_counter() - start)
         result = superc.parse_source(text, unit)
-        return record_from_result(unit, result, attempt,
-                                  time.perf_counter() - start)
+        record = record_from_result(unit, result, attempt,
+                                    time.perf_counter() - start)
+        if superc.tracer.enabled:
+            # Profile captured into the record; drop the raw spans so
+            # a long-lived worker tracer stays bounded.
+            superc.tracer.reset()
+        return record
     except _UnitDeadline:
         return error_record(unit, STATUS_TIMEOUT,
                             f"deadline of {timeout:.3g}s exceeded",
@@ -252,7 +272,15 @@ class BatchEngine:
         self.config = config or EngineConfig()
 
     def run(self, job: CorpusJob,
-            metrics: Optional[MetricsStream] = None) -> CorpusReport:
+            metrics: Optional[MetricsStream] = None,
+            tracer: Optional[object] = None) -> CorpusReport:
+        """Run the job.  ``tracer`` (a :class:`repro.obs.Tracer`)
+        observes the *parent* side: cache-probe and wave spans plus
+        ``engine.result_cache.hits``/``misses`` counters — worker-side
+        per-unit profiles are controlled by ``EngineConfig.profile``.
+        """
+        from repro.obs.tracer import NULL_TRACER
+        tracer = tracer if tracer is not None else NULL_TRACER
         config = self.config
         metrics = metrics or MetricsStream()
         wall_start = time.perf_counter()
@@ -268,20 +296,25 @@ class BatchEngine:
         pending: List[str] = []
         cache_keys: Dict[str, str] = {}
         fs = job.filesystem()
-        for unit in job.units:
-            hit = None
-            if cache is not None:
-                key = self._unit_key(cache, fs, job, unit)
-                if key is not None:
-                    cache_keys[unit] = key
-                    hit = cache.get(key)
-            if hit is not None:
-                hit = dict(hit)
-                hit["cache"] = "hit"
-                final[unit] = hit
-                metrics.unit(hit)
-            else:
-                pending.append(unit)
+        with tracer.span("cache-probe", units=len(job.units)):
+            for unit in job.units:
+                hit = None
+                if cache is not None:
+                    key = self._unit_key(cache, fs, job, unit)
+                    if key is not None:
+                        cache_keys[unit] = key
+                        hit = cache.get(key)
+                if hit is not None:
+                    hit = dict(hit)
+                    hit["cache"] = "hit"
+                    final[unit] = hit
+                    metrics.unit(hit)
+                    if tracer.enabled:
+                        tracer.count("engine.result_cache.hits")
+                else:
+                    pending.append(unit)
+                    if cache is not None and tracer.enabled:
+                        tracer.count("engine.result_cache.misses")
 
         if pending:
             # Warm the table blob before forking so workers
@@ -289,7 +322,10 @@ class BatchEngine:
             warm_grammar_tables()
         attempt = 1
         while pending:
-            for record in self._run_wave(job, pending, attempt):
+            with tracer.span("wave", attempt=attempt,
+                             units=len(pending)):
+                wave_records = self._run_wave(job, pending, attempt)
+            for record in wave_records:
                 final[record["unit"]] = record
                 metrics.unit(record)
             # Crash-loop circuit breaker: a unit that has crashed or
@@ -373,7 +409,8 @@ class BatchEngine:
         tasks = [(unit, attempt) for unit in units]
         if config.workers == 1:
             _init_worker(job, config.optimization,
-                         config.timeout_seconds, config.fault_hook)
+                         config.timeout_seconds, config.fault_hook,
+                         config.profile)
             return [_run_unit(task) for task in tasks]
         if attempt == 1:
             return self._run_pool(job, tasks)
@@ -401,7 +438,8 @@ class BatchEngine:
                 initializer=_init_worker,
                 initargs=(job, config.optimization,
                           config.timeout_seconds,
-                          config.fault_hook)) as pool:
+                          config.fault_hook,
+                          config.profile)) as pool:
             futures = {pool.submit(_run_unit, task): task
                        for task in tasks}
             for future, task in futures.items():

@@ -142,8 +142,8 @@ def measure_gcc_like(corpus: KernelCorpus,
         seconds = time.perf_counter() - start
         samples.append(LatencySample(
             unit, seconds, unit_size_bytes(corpus, unit),
-            preprocess=result.preprocess_seconds,
-            parse=result.parse_seconds))
+            preprocess=result.timing.preprocess,
+            parse=result.timing.parse))
     return LatencyDistribution("gcc-like", samples)
 
 

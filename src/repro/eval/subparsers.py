@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.corpus import KernelCorpus
+from repro.obs.tracer import Tracer
 from repro.parser.fmlr import (FMLROptions, OPTIMIZATION_LEVELS,
                                SubparserExplosion)
 from repro.superc import SuperC
@@ -21,16 +22,18 @@ from repro.superc import SuperC
 
 class SubparserDistribution:
     """Pooled per-iteration subparser counts for one optimization
-    level."""
+    level, plus the corpus-total fork and merge event counts."""
 
     def __init__(self, level: str, counts: List[int],
                  exploded_units: int, total_units: int,
-                 kill_switch: int):
+                 kill_switch: int, forks: int = 0, merges: int = 0):
         self.level = level
         self.counts = counts
         self.exploded_units = exploded_units
         self.total_units = total_units
         self.kill_switch = kill_switch
+        self.forks = forks
+        self.merges = merges
 
     @property
     def maximum(self) -> int:
@@ -89,20 +92,37 @@ def measure_level(corpus: KernelCorpus, level: str,
                        # The benchmark reports explosions, so keep the
                        # legacy abort instead of graceful shedding.
                        hard_kill_switch=True)
+    # The measurement is driven entirely by repro.obs hooks: the FMLR
+    # loop records each iteration's live-subparser count into the
+    # ``fmlr.subparsers`` histogram and counts fork/merge events, so
+    # this benchmark observes the same stream any traced run produces
+    # (and the two can be cross-checked against each other).
+    tracer = Tracer()
     superc = SuperC(corpus.filesystem(),
-                    include_paths=corpus.include_paths, options=opts)
+                    include_paths=corpus.include_paths, options=opts,
+                    tracer=tracer)
     counts: List[int] = []
     exploded = 0
     for unit in corpus.units:
+        mark = tracer.mark()
         try:
             result = superc.parse_file(unit)
-            counts.extend(result.parse.stats.subparser_counts)
             if result.parse.stats.kill_switch_trips:
                 exploded += 1
+            # Pool this unit's iteration counts from its tracer window
+            # (exploded units contribute no counts, as before).
+            window = tracer.since(mark)
+            counts.extend(
+                int(value) for value
+                in window["histograms"].get("fmlr.subparsers", ()))
         except SubparserExplosion:
             exploded += 1
     return SubparserDistribution(level, counts, exploded,
-                                 len(corpus.units), kill_switch)
+                                 len(corpus.units), kill_switch,
+                                 forks=tracer.counters.get(
+                                     "fmlr.forks", 0),
+                                 merges=tracer.counters.get(
+                                     "fmlr.merges", 0))
 
 
 def figure8(corpus: KernelCorpus,

@@ -1,0 +1,45 @@
+"""Pipeline-wide observability: tracing, counters, and profiles.
+
+SuperC's evaluation (§5, Tables 2–3, Figures 8–10) is a measurement
+story — subparser counts, hoisting blowup, per-phase latency — and
+this subsystem makes the same measurements fall out of any normal run
+instead of special evaluation passes:
+
+* :class:`Tracer` — a hierarchical span tracer
+  (``tracer.span("preprocess")`` / ``span("fmlr")`` / …) plus a
+  counters/histograms registry and instant events (FMLR fork/merge,
+  kill-switch trips, confined diagnostics);
+* :data:`NULL_TRACER` — the zero-overhead default: every hook is a
+  no-op on a shared singleton, so the un-traced hot path allocates no
+  event objects (guarded by ``benchmarks/bench_scaling.py``);
+* :class:`Profile` — the per-unit digest attached to
+  ``SuperCResult.profile``: per-phase wall time, BDD/LALR/cache
+  counters, and histogram summaries, aggregated by ``repro.engine``
+  into corpus rollups;
+* exporters — Chrome ``trace_event`` JSON (open in ``chrome://tracing``
+  or Perfetto), a plain-text flamegraph, and the trace validator used
+  by the ``trace-smoke`` Make target.
+
+Typical use::
+
+    from repro.obs import Tracer, to_chrome_trace
+
+    tracer = Tracer()
+    superc = SuperC(fs, tracer=tracer)
+    result = superc.parse_source(source, "unit.c")
+    result.profile.format_summary()        # per-phase + counters
+    json.dump(to_chrome_trace(tracer), open("trace.json", "w"))
+"""
+
+from repro.obs.exporters import (format_flamegraph, records_to_chrome_trace,
+                                 to_chrome_trace, validate_chrome_trace,
+                                 write_chrome_trace)
+from repro.obs.profile import Profile
+from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, TraceEvent,
+                              Tracer)
+
+__all__ = [
+    "NULL_TRACER", "NullTracer", "Profile", "Span", "TraceEvent",
+    "Tracer", "format_flamegraph", "records_to_chrome_trace",
+    "to_chrome_trace", "validate_chrome_trace", "write_chrome_trace",
+]

@@ -1,0 +1,256 @@
+"""Hierarchical span tracer with a counters/histograms registry.
+
+Two implementations share one interface:
+
+* :class:`Tracer` records everything: a tree of timed :class:`Span`
+  objects, a flat list of instant :class:`TraceEvent` objects (FMLR
+  fork/merge, kill-switch trips, confined diagnostics), monotonic
+  counters, and value histograms (per-iteration live subparser counts,
+  hoist expansion factors).
+* :class:`NullTracer` — the default everywhere — is a stateless
+  singleton whose hooks do nothing and allocate nothing.  Hot loops
+  hoist ``trace = tracer.enabled`` into a local and guard per-token
+  hooks behind it, so the un-traced path costs one boolean test.
+
+Instrumented code never branches on tracer *type*; it checks
+``tracer.enabled`` (or just calls the hook, for per-phase spans where
+a no-op call is negligible).
+
+The tracer is deliberately not thread-safe: the pipeline is
+single-threaded per unit, and the batch engine gives each worker
+process its own tracer.  :meth:`Tracer.mark` / :meth:`Tracer.since`
+delimit per-unit windows on a long-lived tracer so one worker can
+serve many units and still produce per-unit profiles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class TraceEvent:
+    """One instant (zero-duration) event on the trace timeline."""
+
+    __slots__ = ("name", "ts", "args")
+
+    def __init__(self, name: str, ts: float, args: Optional[dict]):
+        self.name = name
+        self.ts = ts
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.name!r}, ts={self.ts:.6f})"
+
+
+class Span:
+    """One timed region; spans nest into a tree.
+
+    A span is its own context manager: ``with tracer.span("parse"):``
+    opens it on the tracer's stack and closes it (recording the end
+    time and attaching it to its parent) on exit.
+    """
+
+    __slots__ = ("name", "args", "start", "end", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 args: Optional[dict]):
+        self.name = name
+        self.args = args
+        self.start = 0.0
+        self.end = 0.0
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.start = tracer.clock()
+        tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        self.end = tracer.clock()
+        stack = tracer._stack
+        # Tolerate exception-driven unwinding: pop through to self.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            tracer.roots.append(self)
+        return False
+
+    def tree(self) -> Tuple:
+        """(name, (child trees...)) — the deterministic structure used
+        by tests; times and args are excluded on purpose."""
+        return (self.name, tuple(child.tree()
+                                 for child in self.children))
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.seconds * 1000:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+class _NullSpan:
+    """Shared no-op context manager; one per process, never mutated."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+# Immutable empty views shared by every NullTracer reader.
+_EMPTY_DICT: Dict[str, Any] = {}
+_EMPTY_TUPLE: Tuple = ()
+
+
+class NullTracer:
+    """The zero-overhead default tracer: all hooks are no-ops.
+
+    ``span`` returns one shared context manager and ``event`` /
+    ``count`` / ``record`` return immediately, so instrumented code can
+    call them unconditionally on phase boundaries; per-token call sites
+    should still guard with ``if tracer.enabled:`` to skip argument
+    construction.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    # Read-only empty views so generic consumers (exporters, profiles)
+    # can treat any tracer uniformly.
+    roots: Tuple = _EMPTY_TUPLE
+    events: Tuple = _EMPTY_TUPLE
+    counters: Dict[str, int] = _EMPTY_DICT
+    histograms: Dict[str, List[float]] = _EMPTY_DICT
+
+    def span(self, name: str, /, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, /, **args: Any) -> None:
+        return None
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def record(self, name: str, value: float) -> None:
+        return None
+
+    def mark(self) -> tuple:
+        return _EMPTY_TUPLE
+
+    def reset(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans, instant events, counters, and histograms.
+
+    ``clock`` is injectable (tests use a deterministic counter); it
+    must be monotonic and return seconds as a float.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.roots: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, List[float]] = {}
+        self._stack: List[Span] = []
+
+    # -- recording ----------------------------------------------------
+
+    def span(self, name: str, /, **args: Any) -> Span:
+        """Open a new child span of the current span (as a ``with``
+        target)."""
+        return Span(self, name, args or None)
+
+    def event(self, name: str, /, **args: Any) -> None:
+        """Record an instant event at the current time."""
+        self.events.append(TraceEvent(name, self.clock(), args or None))
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a monotonic counter."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def record(self, name: str, value: float) -> None:
+        """Append one observation to a histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = []
+        histogram.append(value)
+
+    # -- per-unit windows ---------------------------------------------
+
+    def mark(self) -> tuple:
+        """Snapshot the current position; pass to :meth:`since` to read
+        only what was recorded after this point (per-unit windows on a
+        long-lived tracer)."""
+        return (len(self.roots), len(self.events), dict(self.counters),
+                {name: len(values)
+                 for name, values in self.histograms.items()})
+
+    def since(self, mark: tuple) -> dict:
+        """Everything recorded after ``mark``: new root spans, new
+        events, counter deltas, and new histogram observations."""
+        if not mark:
+            mark = (0, 0, {}, {})
+        roots_len, events_len, counters_then, hist_lens = mark
+        counters = {}
+        for name, value in self.counters.items():
+            delta = value - counters_then.get(name, 0)
+            if delta:
+                counters[name] = delta
+        histograms = {}
+        for name, values in self.histograms.items():
+            tail = values[hist_lens.get(name, 0):]
+            if tail:
+                histograms[name] = tail
+        return {"roots": self.roots[roots_len:],
+                "events": self.events[events_len:],
+                "counters": counters,
+                "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop everything recorded so far (spans, events, counters,
+        histograms).  Long-lived tracers — one per batch worker — reset
+        between units once the per-unit Profile has been captured, so
+        memory stays bounded over arbitrarily large corpora."""
+        self.roots.clear()
+        self.events.clear()
+        self.counters.clear()
+        self.histograms.clear()
+        self._stack.clear()
+
+    # -- introspection ------------------------------------------------
+
+    def span_trees(self) -> Tuple:
+        """Deterministic (name, children) trees of all root spans."""
+        return tuple(root.tree() for root in self.roots)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(roots={len(self.roots)}, "
+                f"events={len(self.events)}, "
+                f"counters={len(self.counters)})")

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import (Diagnostic, PHASE_PARSE, PHASE_RESOURCE,
                           ResourceBudget, SEVERITY_CONFIG)
 from repro.lexer.tokens import Token, TokenKind
+from repro.obs.tracer import NULL_TRACER
 from repro.parser.ast import build_value, make_choice
 from repro.parser.context import ParserContext
 from repro.parser.grammar import END
@@ -123,9 +124,25 @@ class FMLRStats:
         self.merges = 0
         self.shared_reduce_count = 0
         self.lazy_shift_count = 0
+        # LALR action-table probes on the step path (repro.obs).
+        self.action_lookups = 0
         # Degradation counters (soft kill switch / resource budgets).
         self.kill_switch_trips = 0
         self.dropped_subparsers = 0
+
+    def as_counters(self) -> Dict[str, int]:
+        """Flat ``fmlr.*`` counter view for per-unit profiles."""
+        return {
+            "fmlr.iterations": self.iterations,
+            "fmlr.max_subparsers": self.max_subparsers,
+            "fmlr.forks": self.forks,
+            "fmlr.merges": self.merges,
+            "fmlr.shared_reduces": self.shared_reduce_count,
+            "fmlr.lazy_shifts": self.lazy_shift_count,
+            "fmlr.action_lookups": self.action_lookups,
+            "fmlr.kill_switch_trips": self.kill_switch_trips,
+            "fmlr.dropped_subparsers": self.dropped_subparsers,
+        }
 
 
 class _StackNode:
@@ -250,12 +267,18 @@ class FMLRParser:
                  context_factory: Callable[[], ParserContext]
                  = ParserContext,
                  options: Optional[FMLROptions] = None,
-                 budget: Optional[ResourceBudget] = None):
+                 budget: Optional[ResourceBudget] = None,
+                 tracer: Any = None):
         self.tables = tables
         self.classify = classify
         self.context_factory = context_factory
         self.options = options or FMLROptions()
         self.budget = budget
+        # Observability hooks (repro.obs).  The default NULL_TRACER is
+        # a stateless no-op singleton; the hot loop hoists its
+        # ``enabled`` flag into a local so the un-traced path pays one
+        # boolean test per hook site and allocates nothing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- entry point ------------------------------------------------------
 
@@ -263,6 +286,8 @@ class FMLRParser:
               condition: Any = None) -> FMLRResult:
         """Parse a preprocessor token tree under ``condition``."""
         options = self.options
+        tracer = self.tracer
+        trace = tracer.enabled
         root_cond = condition if condition is not None else manager.true
         first = build_stream(list(tree), manager)
         stats = FMLRStats()
@@ -295,6 +320,10 @@ class FMLRParser:
             live_count[0] -= len(victims)
             stats.kill_switch_trips += 1
             stats.dropped_subparsers += len(victims)
+            if trace:
+                tracer.count("fmlr.kill_switch_trips")
+                tracer.event("kill-switch", live=live,
+                             dropped=len(victims))
             diagnostics.append(Diagnostic(
                 dropped_cond, SEVERITY_CONFIG, PHASE_PARSE,
                 f"subparser budget {options.kill_switch} exceeded "
@@ -310,6 +339,9 @@ class FMLRParser:
                     remaining = remaining | entry[2].condition(manager)
                     entry[2].alive = False
             queue.clear()
+            if trace:
+                tracer.event("bdd-budget-trip",
+                             nodes=manager.num_nodes())
             diagnostics.append(Diagnostic(
                 remaining, SEVERITY_CONFIG, PHASE_RESOURCE,
                 f"BDD budget of {budget.max_bdd_nodes} nodes exceeded "
@@ -341,6 +373,11 @@ class FMLRParser:
                 combined = self._try_merge(existing, subparser, manager)
                 if combined is not None:
                     stats.merges += 1
+                    if trace:
+                        tracer.count("fmlr.merges")
+                        tracer.event(
+                            "merge",
+                            position=combined.earliest_position)
                     existing.alive = False
                     bucket[i] = combined
                     heapq.heappush(queue, (self._priority(combined),
@@ -367,6 +404,8 @@ class FMLRParser:
             stats.iterations += 1
             live = live_count[0] + 1  # include the one being stepped
             stats.subparser_counts.append(live)
+            if trace:
+                tracer.record("fmlr.subparsers", live)
             if live > stats.max_subparsers:
                 stats.max_subparsers = live
             if live > options.kill_switch:
@@ -381,7 +420,13 @@ class FMLRParser:
             successors = self._step(subparser, manager, accepted,
                                     failures, stats)
             if len(successors) > 1:
-                stats.forks += len(successors) - 1
+                forked = len(successors) - 1
+                stats.forks += forked
+                if trace:
+                    tracer.count("fmlr.forks", forked)
+                    tracer.event("fork", n=forked,
+                                 position=subparser.earliest_position,
+                                 live=live + forked)
             for successor in successors:
                 insert(successor)
         return FMLRResult(accepted, failures, stats, manager,
@@ -452,6 +497,7 @@ class FMLRParser:
                     node.token, base, cond):
                 if sub_cond.is_false():
                     continue
+                stats.action_lookups += 1
                 action = self.tables.action[state].get(terminal)
                 if action is None:
                     failures.append(ParseFailure(

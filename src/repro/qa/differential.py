@@ -275,10 +275,13 @@ class DifferentialChecker:
             disagreements.append(
                 Disagreement("unparseable", chosen[0], detail, filename))
 
+        # Every pipeline result implements the repro.api Result
+        # protocol, so status is an attribute, not a maybe.
         return CheckOutcome(filename, len(chosen), disagreements,
                             result is not None and result.ok,
                             superc_error,
-                            getattr(result, "status", None))
+                            result.status if result is not None
+                            else None)
 
     def _check_config(self, text, filename, result, superc_error,
                       config) -> Optional[List[Disagreement]]:

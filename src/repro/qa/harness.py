@@ -93,9 +93,11 @@ def run_fuzz_unit(state: dict, unit: str) -> dict:
         "cache": "miss",
         "seconds": round(seconds, 6),
         "timing": {"lex": 0.0, "preprocess": 0.0,
-                   "parse": round(seconds, 6)},
+                   "parse": round(seconds, 6),
+                   "total": round(seconds, 6)},
         "subparsers": {"max": 0, "forks": 0, "merges": 0},
         "preprocessor": {},
+        "profile": None,
         "failures": [f"{d['kind']}: {d['detail']}"
                      for d in disagreements[:3]],
         "error": None,
@@ -192,8 +194,13 @@ def run_fuzz(units: int = 50, seed: int = 0,
              max_configs: int = 12, parse: bool = True,
              do_shrink: bool = True,
              shrink_budget: int = 200,
-             metrics: Optional[MetricsStream] = None) -> FuzzReport:
-    """Fuzz ``units`` generated units starting at ``seed``."""
+             metrics: Optional[MetricsStream] = None,
+             tracer=None) -> FuzzReport:
+    """Fuzz ``units`` generated units starting at ``seed``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) observes the parent-side
+    engine: cache-probe/wave spans and scheduling counters.
+    """
     spec = spec or FuzzSpec()
     metrics = metrics or MetricsStream()
     runner_args = {"variables": spec.variables, "items": spec.items,
@@ -205,7 +212,7 @@ def run_fuzz(units: int = 50, seed: int = 0,
     engine = BatchEngine(EngineConfig(workers=workers,
                                       timeout_seconds=timeout_seconds,
                                       use_result_cache=False))
-    report = engine.run(job, metrics)
+    report = engine.run(job, metrics, tracer=tracer)
 
     counterexamples: List[Counterexample] = []
     if do_shrink:

@@ -28,6 +28,8 @@ from repro.cpp import CompilationUnit, FileSystem, Preprocessor
 from repro.cpp.tree import token_count
 from repro.errors import (Diagnostic, PHASE_RESOURCE, ResourceBudget,
                           SEVERITY_CONFIG, SEVERITY_WARNING)
+from repro.obs.profile import Profile
+from repro.obs.tracer import NULL_TRACER
 from repro.parser.fmlr import (FMLROptions, FMLRParser, FMLRResult,
                                FMLRStats, ParseFailure)
 from repro.parser.lalr import Tables
@@ -51,6 +53,10 @@ class Timing:
     def total(self) -> float:
         return self.lex + self.preprocess + self.parse
 
+    def as_dict(self) -> Dict[str, float]:
+        return {"lex": self.lex, "preprocess": self.preprocess,
+                "parse": self.parse, "total": self.total}
+
     def __repr__(self) -> str:
         return (f"Timing(lex={self.lex:.4f}, "
                 f"preprocess={self.preprocess:.4f}, "
@@ -61,11 +67,15 @@ class SuperCResult:
     """Everything produced for one compilation unit."""
 
     def __init__(self, unit: CompilationUnit, parse: FMLRResult,
-                 symbol_stats: SymbolStats, timing: Timing):
+                 symbol_stats: SymbolStats, timing: Timing,
+                 profile: Optional[Profile] = None):
         self.unit = unit
         self.parse = parse
         self.symbol_stats = symbol_stats
         self.timing = timing
+        # Per-unit observability snapshot (repro.obs.Profile) when the
+        # parse ran under an enabled tracer; None otherwise.
+        self.profile = profile
 
     @property
     def ok(self) -> bool:
@@ -125,22 +135,42 @@ class SuperC:
                  options: Optional[FMLROptions] = None,
                  tables: Optional[Tables] = None,
                  context_factory_maker: Optional[Callable] = None,
-                 budget: Optional[ResourceBudget] = None):
-        self.fs = fs
-        self.include_paths = list(include_paths)
-        self.builtins = builtins
+                 budget: Optional[ResourceBudget] = None,
+                 tracer: Any = None,
+                 config: Any = None):
+        # All knobs funnel through one repro.api.Config so every entry
+        # point (SuperC, parse_c, repro.parse, the engine) resolves
+        # defaults identically.  Imported lazily: repro.api imports this
+        # module at its top level.
+        if config is None:
+            from repro.api import Config
+            config = Config(fs=fs, include_paths=tuple(include_paths),
+                            builtins=builtins,
+                            extra_definitions=extra_definitions,
+                            options=options, tables=tables,
+                            context_factory_maker=context_factory_maker,
+                            budget=budget, tracer=tracer)
+        self.config = config
+        self.fs = config.resolved_fs()
+        self.include_paths = list(config.include_paths)
+        self.builtins = config.builtins
         # The four non-boolean macro definitions of §6.3 step 3 (and
         # any other overrides) are supplied here.
-        self.extra_definitions = extra_definitions
-        self.options = options
+        self.extra_definitions = config.extra_definitions
+        self.options = config.resolved_options()
         # Per-unit resource limits; trips degrade instead of crashing.
-        self.budget = budget
+        self.budget = config.budget
+        # NULL_TRACER keeps the un-traced hot path free of event
+        # allocation; pass a repro.obs.Tracer to observe the pipeline.
+        self.tracer = config.tracer if config.tracer is not None \
+            else NULL_TRACER
         # Prebuilt tables and a (manager, stats) -> context-factory
         # maker can be injected so repeated construction — the batch
         # engine builds one SuperC per corpus job per worker — shares
         # one table build instead of paying c_tables() per instance.
-        self.tables = tables if tables is not None else c_tables()
-        self.context_factory_maker = (context_factory_maker
+        self.tables = config.tables if config.tables is not None \
+            else c_tables()
+        self.context_factory_maker = (config.context_factory_maker
                                       or make_context_factory)
 
     # -- pipeline -------------------------------------------------------------
@@ -154,12 +184,22 @@ class SuperC:
     def parse_source(self, text: str,
                      filename: str = "<input>") -> SuperCResult:
         """Preprocess and parse source text."""
-        preprocessor = self._preprocessor()
-        pp_start = time.perf_counter()
-        unit = preprocessor.preprocess(text, filename)
-        pp_seconds = time.perf_counter() - pp_start
-        return self._parse_unit(unit, preprocessor.lex_seconds,
-                                pp_seconds - preprocessor.lex_seconds)
+        tracer = self.tracer
+        mark = tracer.mark() if tracer.enabled else None
+        with tracer.span("unit", file=filename):
+            preprocessor = self._preprocessor()
+            with tracer.span("preprocess", file=filename):
+                pp_start = time.perf_counter()
+                unit = preprocessor.preprocess(text, filename)
+                pp_seconds = time.perf_counter() - pp_start
+            result = self._parse_unit(
+                unit, preprocessor.lex_seconds,
+                pp_seconds - preprocessor.lex_seconds)
+        # Attach the profile once the unit span has closed so the
+        # window captures the whole span tree.
+        result.profile = self._profile(unit, result.parse.stats,
+                                       result.timing, mark)
+        return result
 
     def parse_file(self, path: str) -> SuperCResult:
         """Preprocess and parse a file from the file system."""
@@ -172,7 +212,12 @@ class SuperC:
 
     def parse_unit(self, unit: CompilationUnit) -> SuperCResult:
         """Parse an already-preprocessed compilation unit."""
-        return self._parse_unit(unit, 0.0, 0.0)
+        tracer = self.tracer
+        mark = tracer.mark() if tracer.enabled else None
+        result = self._parse_unit(unit, 0.0, 0.0)
+        result.profile = self._profile(unit, result.parse.stats,
+                                       result.timing, mark)
+        return result
 
     # -- internals ---------------------------------------------------------------
 
@@ -180,7 +225,8 @@ class SuperC:
         return Preprocessor(self.fs, include_paths=self.include_paths,
                             builtins=self.builtins,
                             extra_definitions=self.extra_definitions,
-                            budget=self.budget)
+                            budget=self.budget,
+                            tracer=self.tracer)
 
     def _parse_unit(self, unit: CompilationUnit, lex_seconds: float,
                     pp_seconds: float) -> SuperCResult:
@@ -200,20 +246,42 @@ class SuperC:
                     f"({total} tokens): parse skipped")
                 parse = FMLRResult([], [], FMLRStats(), unit.manager,
                                    [diagnostic], degraded=True)
-                return SuperCResult(unit, parse, symbol_stats,
-                                    Timing(lex_seconds, pp_seconds, 0.0))
+                timing = Timing(lex_seconds, pp_seconds, 0.0)
+                return SuperCResult(unit, parse, symbol_stats, timing)
         factory = self.context_factory_maker(unit.manager, symbol_stats)
         parser = FMLRParser(self.tables, classify,
                             context_factory=factory,
                             options=self.options,
-                            budget=budget)
-        parse_start = time.perf_counter()
-        result = parser.parse(unit.tree, unit.manager,
-                              unit.feasible_condition)
-        parse_seconds = time.perf_counter() - parse_start
-        return SuperCResult(unit, result, symbol_stats,
-                            Timing(lex_seconds, pp_seconds,
-                                   parse_seconds))
+                            budget=budget,
+                            tracer=self.tracer)
+        with self.tracer.span("parse"):
+            parse_start = time.perf_counter()
+            result = parser.parse(unit.tree, unit.manager,
+                                  unit.feasible_condition)
+            parse_seconds = time.perf_counter() - parse_start
+        timing = Timing(lex_seconds, pp_seconds, parse_seconds)
+        return SuperCResult(unit, result, symbol_stats, timing)
+
+    def _profile(self, unit: CompilationUnit, stats: FMLRStats,
+                 timing: Timing, mark: Any) -> Optional[Profile]:
+        """Assemble the per-unit Profile from the tracer window plus the
+        pipeline's own counters (FMLR, BDD manager, preprocessor)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return None
+        counters: Dict[str, Any] = dict(stats.as_counters())
+        manager_stats = getattr(unit.manager, "stats", None)
+        if callable(manager_stats):
+            for key, value in manager_stats().items():
+                counters[f"bdd.{key}"] = value
+        unit_stats = getattr(unit, "stats", None)
+        as_dict = getattr(unit_stats, "as_dict", None)
+        if callable(as_dict):
+            for key, value in as_dict().items():
+                counters[f"cpp.{key}"] = value
+        return Profile.from_window(tracer, mark,
+                                   phases=timing.as_dict(),
+                                   extra_counters=counters)
 
 
 def parse_c(text: str, files: Optional[Dict[str, str]] = None,

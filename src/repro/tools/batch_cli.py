@@ -88,6 +88,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print the aggregate report as JSON")
     parser.add_argument("--verbose", action="store_true",
                         help="include the Table 3 preprocessor rollup")
+    parser.add_argument("--profile", action="store_true",
+                        help="give every worker an enabled repro.obs "
+                             "tracer: each unit record carries a "
+                             "profile and the report gains a corpus "
+                             "profile rollup")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace_event JSON of the "
+                             "run: one lane per unit (from record "
+                             "timings) plus the engine's own spans")
     return parser
 
 
@@ -129,15 +138,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                           retries=args.retries,
                           optimization=args.optimization,
                           cache_dir=args.cache_dir,
-                          use_result_cache=not args.no_result_cache)
+                          use_result_cache=not args.no_result_cache,
+                          profile=args.profile)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        tracer = Tracer()
     sink = None
     if args.metrics == "-":
         sink = sys.stderr
     elif args.metrics:
         sink = args.metrics
     with MetricsStream(sink) as metrics:
-        report = BatchEngine(config).run(job, metrics)
+        report = BatchEngine(config).run(job, metrics, tracer=tracer)
 
+    if args.trace:
+        from repro.obs import records_to_chrome_trace, \
+            write_chrome_trace
+        write_chrome_trace(args.trace,
+                           records_to_chrome_trace(report.records,
+                                                   tracer=tracer))
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.json:
         payload = report.summary()
         payload["latency"] = report.latency_rollup()
@@ -146,6 +167,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(format_report(report, verbose=args.verbose))
+        rollup = report.profile_rollup()
+        if rollup is not None:
+            phases = rollup.get("phases") or {}
+            counters = rollup.get("counters") or {}
+            print("profile rollup: " + ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in phases.items()))
+            interesting = ("fmlr.forks", "fmlr.merges",
+                           "fmlr.kill_switch_trips", "bdd.nodes_created",
+                           "bdd.apply_calls", "cpp.conditionals")
+            shown = {key: counters[key] for key in interesting
+                     if key in counters}
+            if shown:
+                print("profile counters: " + ", ".join(
+                    f"{key}={value}" for key, value in shown.items()))
     return 0 if report.all_ok else 1
 
 

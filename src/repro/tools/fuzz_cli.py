@@ -71,6 +71,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print the aggregate report as JSON")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print per-counterexample sources")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace_event JSON of the "
+                             "run: per-unit lanes plus the engine's "
+                             "scheduling spans")
     return parser
 
 
@@ -98,6 +102,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     spec = FuzzSpec(variables=args.variables, items=args.items,
                     weights=parse_weights(args.weight, parser))
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        tracer = Tracer()
     sink = sys.stdout if args.metrics == "-" else args.metrics
     with MetricsStream(sink) as metrics:
         outcome = run_fuzz(units=args.units, seed=args.seed, spec=spec,
@@ -107,9 +115,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                            parse=not args.no_parse,
                            do_shrink=not args.no_shrink,
                            shrink_budget=args.shrink_budget,
-                           metrics=metrics)
+                           metrics=metrics, tracer=tracer)
 
     report = outcome.report
+    if args.trace:
+        from repro.obs import records_to_chrome_trace, \
+            write_chrome_trace
+        write_chrome_trace(args.trace,
+                           records_to_chrome_trace(report.records,
+                                                   tracer=tracer))
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.json:
         payload = report.summary()
         payload["counterexamples"] = [ce.to_record()

@@ -8,7 +8,10 @@ Prints a parse summary; optionally dumps the preprocessed token tree
 (``--preprocess-only``), the AST (``--dump-ast``), preprocessor
 statistics (``--stats``), per-configuration projections
 (``--project defined:CONFIG_X ...``), or a machine-readable summary
-(``--json``).
+(``--json``, including per-phase timing and the observability profile
+when tracing).  ``--trace FILE`` writes a Chrome trace_event JSON of
+the run (load in chrome://tracing or Perfetto); ``--profile`` prints
+the per-unit profile (phase wall times, FMLR/BDD/cpp counters).
 
 Exit status:
 
@@ -71,6 +74,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON summary "
                              "instead of the text report")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record the run with repro.obs and write "
+                             "a Chrome trace_event JSON file "
+                             "(chrome://tracing / Perfetto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-unit observability "
+                             "profile (per-phase wall time, FMLR/BDD/"
+                             "preprocessor counters)")
     return parser
 
 
@@ -84,9 +95,14 @@ def parse_defines(pairs: List[str]) -> dict:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    tracer = None
+    if args.trace or args.profile:
+        from repro.obs import Tracer
+        tracer = Tracer()
     superc = SuperC(RealFileSystem(), include_paths=args.include,
                     extra_definitions=parse_defines(args.define),
-                    options=OPTIMIZATION_LEVELS[args.optimization])
+                    options=OPTIMIZATION_LEVELS[args.optimization],
+                    tracer=tracer)
     if args.preprocess_only:
         text = superc.fs.read(args.file)
         if text is None:
@@ -113,6 +129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "error": str(error)}))
         print(f"error: {error}", file=sys.stderr)
         return 3
+    if args.trace:
+        from repro.obs import to_chrome_trace, write_chrome_trace
+        write_chrome_trace(args.trace, to_chrome_trace(tracer))
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.json:
         from repro.engine.results import record_from_result
         record = record_from_result(args.file, result,
@@ -141,6 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         origin = f" at {diag.origin}" if diag.origin else ""
         print(f"  {diag.severity} [{diag.phase}]{origin} under "
               f"{diag.condition.to_expr_string()}: {diag.message}")
+    if args.profile and result.profile is not None:
+        print(result.profile.format_summary())
     if args.stats:
         _print_stats(result.unit.stats.as_dict())
     if args.dump_ast:

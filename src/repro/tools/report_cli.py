@@ -52,6 +52,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="glob selecting compilation units")
     parser.add_argument("--skip-tools-view", action="store_true",
                         help="only the cheap developer's view")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="trace the tool's-view parses with "
+                             "repro.obs and write Chrome trace_event "
+                             "JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the aggregate observability "
+                             "profile of the tool's-view parses")
     return parser
 
 
@@ -85,7 +92,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.skip_tools_view or not units:
         return 0
     include_paths = args.include or ["include", "."]
-    superc = SuperC(corpus.filesystem(), include_paths=include_paths)
+    tracer = None
+    if args.trace or args.profile:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    superc = SuperC(corpus.filesystem(), include_paths=include_paths,
+                    tracer=tracer)
     parseable: List[str] = []
     for unit in units:
         try:
@@ -102,6 +114,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for label, _attr in TOOLS_VIEW_ROWS:
         p50, p90, p100 = table[label]
         print(f"{label:<38}{p50:>8.0f} · {p90:>6.0f} · {p100:>6.0f}")
+    if args.trace:
+        from repro.obs import to_chrome_trace, write_chrome_trace
+        write_chrome_trace(args.trace, to_chrome_trace(tracer))
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.profile:
+        from repro.obs import Profile
+        profile = Profile.from_window(tracer, ())
+        print()
+        print(profile.format_summary())
     return 0
 
 

@@ -111,7 +111,8 @@ class TestParseCli:
         assert code == 0
         assert record["status"] == "ok"
         assert record["unit"].endswith("main.c")
-        assert set(record["timing"]) == {"lex", "preprocess", "parse"}
+        assert set(record["timing"]) == {"lex", "preprocess", "parse",
+                                         "total"}
         assert record["subparsers"]["max"] >= 1
         assert record["preprocessor"]["macro_definitions"] >= 1
 

@@ -68,10 +68,14 @@ class TestSerialRun:
         report = BatchEngine(make_config(tmp_path)).run(job)
         record = report.records[0]
         for key in ("unit", "status", "attempt", "cache", "seconds",
-                    "timing", "subparsers", "preprocessor", "failures",
-                    "error"):
+                    "timing", "subparsers", "preprocessor", "profile",
+                    "failures", "error"):
             assert key in record
-        assert set(record["timing"]) == {"lex", "preprocess", "parse"}
+        assert set(record["timing"]) == {"lex", "preprocess", "parse",
+                                         "total"}
+        assert record["timing"]["total"] >= record["timing"]["parse"]
+        # Profiles only appear on EngineConfig(profile=True) runs.
+        assert record["profile"] is None
         assert set(record["subparsers"]) == {"max", "forks", "merges"}
         assert record["subparsers"]["max"] >= 1
         assert record["preprocessor"]["macro_definitions"] > 0
