@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test smoke-batch fuzz-smoke robustness-smoke trace-smoke \
-	bench clean-cache
+	serve-smoke bench clean-cache
 
 # Tier 1: the full unit-test suite (must stay green).
 test:
@@ -50,6 +50,16 @@ trace-smoke:
 	  sys.exit('invalid trace: ' + '; '.join(problems) \
 	           if problems else 0); \
 	  " && echo "trace-smoke: trace valid"
+
+# Tier 2: parse-daemon smoke — start a real repro.serve server on a
+# Unix socket and drive the whole serve contract through the client:
+# warm cache hit on the second identical request, reverse-invalidation
+# re-parse after a shared-header edit, status=shed under an over-depth
+# burst, and a graceful draining shutdown.  Exits nonzero on the first
+# violated expectation.
+serve-smoke:
+	$(PY) -m repro.tools.serve_cli --smoke examples/mousedev.c \
+	    -I examples/include
 
 # Full benchmark suite (Tables 2-3, Figures 8-10, scaling + speedup).
 bench:

@@ -24,7 +24,7 @@ module for directory trees and generated corpora.
 """
 
 from repro.engine.cache import (RESULT_CACHE_VERSION, ResultCache,
-                                config_fingerprint,
+                                config_fingerprint, include_closure,
                                 include_closure_digest,
                                 warm_grammar_tables)
 from repro.engine.metrics import STREAM_SCHEMA_VERSION, MetricsStream
@@ -36,17 +36,19 @@ from repro.engine.results import (RETRYABLE_STATUSES, STATUS_CRASHED,
                                   error_record, format_report,
                                   percentile, record_from_result)
 from repro.engine.scheduler import (DEFAULT_OPTIMIZATION, BatchEngine,
-                                    CorpusJob, EngineConfig)
+                                    CorpusJob, DeadlineExceeded,
+                                    EngineConfig, attempt_deadline)
 
 __all__ = [
     "BatchEngine", "CorpusJob", "CorpusReport", "DEFAULT_OPTIMIZATION",
+    "DeadlineExceeded",
     "EngineConfig", "MetricsStream", "RESULT_CACHE_VERSION",
     "RETRYABLE_STATUSES", "ResultCache", "STATUS_CRASHED",
     "STATUS_DEGRADED", "STATUS_DISAGREE",
     "STATUS_ERROR", "STATUS_OK",
     "STATUS_PARSE_FAILED", "STATUS_TIMEOUT", "STREAM_SCHEMA_VERSION",
-    "UnitResult",
+    "UnitResult", "attempt_deadline",
     "config_fingerprint", "error_record", "format_report",
-    "include_closure_digest", "percentile", "record_from_result",
-    "warm_grammar_tables",
+    "include_closure", "include_closure_digest", "percentile",
+    "record_from_result", "warm_grammar_tables",
 ]

@@ -24,7 +24,7 @@ import hashlib
 import json
 import os
 import re
-from typing import Dict, Optional, Sequence
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.cgrammar import c_tables, c_tables_cache_path, cache_root
 from repro.cpp import FileSystem, IncludeResolver
@@ -78,15 +78,20 @@ def config_fingerprint(include_paths: Sequence[str],
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
-def include_closure_digest(fs: FileSystem, unit: str,
-                           include_paths: Sequence[str]) -> str:
-    """Hash the transitive include closure of ``unit``.
+def include_closure(fs: FileSystem, unit: str,
+                    include_paths: Sequence[str]) \
+        -> Tuple[str, FrozenSet[str]]:
+    """Digest *and* member set of ``unit``'s transitive include closure.
 
     A conservative textual approximation: every ``#include`` operand is
     chased regardless of the conditionals around it (computed includes
     contribute their operand text instead of a file).  Over-approximate
     is the safe direction for a cache key — editing any header a unit
     could see in any configuration invalidates the unit's entry.
+
+    The member set (every path visited, the unit included) is what the
+    serve layer's reverse-invalidation index consumes: ``invalidate(h)``
+    must drop exactly the units whose closure contains ``h``.
     """
     resolver = IncludeResolver(fs, include_paths)
     digest = hashlib.sha256()
@@ -109,7 +114,13 @@ def include_closure_digest(fs: FileSystem, unit: str,
                 digest.update(f"<unresolved:{name}>".encode())
             else:
                 stack.append(resolved)
-    return digest.hexdigest()
+    return digest.hexdigest(), frozenset(seen)
+
+
+def include_closure_digest(fs: FileSystem, unit: str,
+                           include_paths: Sequence[str]) -> str:
+    """Hash the transitive include closure of ``unit`` (digest only)."""
+    return include_closure(fs, unit, include_paths)[0]
 
 
 class ResultCache:
@@ -146,14 +157,37 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: dict) -> None:
+        """Atomically publish one record.
+
+        The record is serialized to a private temp file first and only
+        then renamed over the final path (``os.replace`` is atomic on
+        POSIX), so a concurrent reader — a daemon sharing the cache
+        with a ``superc-batch`` run — either sees the previous complete
+        entry or the new complete entry, never interleaved partial
+        JSON.  Failures (including unserializable records) are
+        swallowed and leave no temp litter behind: cache writes are
+        best-effort.
+        """
+        tmp = self._path(key) + f".tmp.{os.getpid()}"
         try:
             os.makedirs(self.directory, exist_ok=True)
-            tmp = self._path(key) + f".tmp.{os.getpid()}"
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)
             os.replace(tmp, self._path(key))
+        except (OSError, TypeError, ValueError):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def delete(self, key: str) -> bool:
+        """Drop one record (serve-layer invalidation); True if it
+        existed."""
+        try:
+            os.remove(self._path(key))
+            return True
         except OSError:
-            pass  # cache writes are best-effort
+            return False
 
     def clear(self) -> int:
         """Delete this fingerprint's records; return how many."""

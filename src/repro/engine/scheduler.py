@@ -20,13 +20,16 @@ and are folded into a :class:`CorpusReport`.
 
 from __future__ import annotations
 
+import contextlib
 import glob as glob_module
 import importlib
 import os
 import random
 import signal
+import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple, Union
 
 from repro.cpp import DictFileSystem, FileSystem, RealFileSystem
 from repro.engine.cache import (ResultCache, config_fingerprint,
@@ -161,8 +164,50 @@ class CorpusJob:
 # worker side
 # ---------------------------------------------------------------------------
 
-class _UnitDeadline(Exception):
-    """Raised by the SIGALRM handler when an attempt hits its deadline."""
+class DeadlineExceeded(Exception):
+    """Raised by the SIGALRM handler when an attempt hits its deadline.
+
+    Shared deadline machinery: batch workers raise it out of
+    :func:`attempt_deadline`, and the serve layer's admission control
+    (:mod:`repro.serve.admission`) reuses both the exception and the
+    context manager for per-request deadlines.
+    """
+
+
+# Backwards-compatible alias (pre-serve name).
+_UnitDeadline = DeadlineExceeded
+
+
+def _alarm_handler(signum, frame):
+    raise DeadlineExceeded()
+
+
+@contextlib.contextmanager
+def attempt_deadline(seconds: float) -> Iterator[bool]:
+    """Hard wall-clock deadline around one unit of work.
+
+    Arms a SIGALRM interval timer for ``seconds`` and raises
+    :class:`DeadlineExceeded` from wherever the work is executing when
+    it fires.  Signals only deliver to a process's main thread, so off
+    the main thread (a serve worker running next to a socket acceptor)
+    — or when ``seconds`` is 0 or ``setitimer`` is unavailable — this
+    degrades to a no-op and yields False; callers that need a fallback
+    can check the yielded flag and apply soft (between-requests)
+    deadline checks instead.
+    """
+    use_alarm = (seconds > 0 and hasattr(signal, "setitimer")
+                 and threading.current_thread()
+                 is threading.main_thread())
+    if not use_alarm:
+        yield False
+        return
+    previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
 
 
 _STATE: dict = {}
@@ -207,10 +252,6 @@ def _init_worker(job: CorpusJob, optimization: str,
     _STATE["runner_cache"] = {}
 
 
-def _alarm_handler(signum, frame):
-    raise _UnitDeadline()
-
-
 def _run_unit(task: Tuple[str, int]) -> dict:
     """Parse one unit inside a worker; never raises."""
     unit, attempt = task
@@ -218,47 +259,39 @@ def _run_unit(task: Tuple[str, int]) -> dict:
     timeout = _STATE["timeout"]
     hook = _STATE["hook"]
     start = time.perf_counter()
-    use_alarm = timeout > 0 and hasattr(signal, "setitimer")
-    previous_handler = None
-    if use_alarm:
-        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        if hook is not None:
-            hook(unit)
-        runner = _STATE.get("runner")
-        if runner is not None:
-            record = dict(runner(_STATE, unit))
-            record.setdefault("unit", unit)
-            record["attempt"] = attempt
-            record.setdefault("cache", "miss")
-            record.setdefault("seconds",
-                              round(time.perf_counter() - start, 6))
-            return record
-        text = superc.fs.read(unit)
-        if text is None:
-            return error_record(unit, STATUS_ERROR,
-                                f"cannot read {unit}", attempt,
-                                time.perf_counter() - start)
-        result = superc.parse_source(text, unit)
-        record = record_from_result(unit, result, attempt,
+        with attempt_deadline(timeout):
+            if hook is not None:
+                hook(unit)
+            runner = _STATE.get("runner")
+            if runner is not None:
+                record = dict(runner(_STATE, unit))
+                record.setdefault("unit", unit)
+                record["attempt"] = attempt
+                record.setdefault("cache", "miss")
+                record.setdefault("seconds",
+                                  round(time.perf_counter() - start, 6))
+                return record
+            text = superc.fs.read(unit)
+            if text is None:
+                return error_record(unit, STATUS_ERROR,
+                                    f"cannot read {unit}", attempt,
                                     time.perf_counter() - start)
-        if superc.tracer.enabled:
-            # Profile captured into the record; drop the raw spans so
-            # a long-lived worker tracer stays bounded.
-            superc.tracer.reset()
-        return record
-    except _UnitDeadline:
+            result = superc.parse_source(text, unit)
+            record = record_from_result(unit, result, attempt,
+                                        time.perf_counter() - start)
+            if superc.tracer.enabled:
+                # Profile captured into the record; drop the raw spans
+                # so a long-lived worker tracer stays bounded.
+                superc.tracer.reset()
+            return record
+    except DeadlineExceeded:
         return error_record(unit, STATUS_TIMEOUT,
                             f"deadline of {timeout:.3g}s exceeded",
                             attempt, time.perf_counter() - start)
     except Exception as exc:
         return error_record(unit, STATUS_ERROR, repr(exc), attempt,
                             time.perf_counter() - start)
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous_handler)
 
 
 # ---------------------------------------------------------------------------

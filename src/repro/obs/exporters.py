@@ -41,9 +41,15 @@ def _span_events(span: Span, origin: float, pid: int, tid: int,
 
 
 def to_chrome_trace(tracer: Tracer, pid: int = 1, tid: int = 1,
-                    extra_events: Optional[Sequence[dict]] = None) \
-        -> dict:
-    """Export a tracer's spans/events/counters as a Chrome trace dict."""
+                    extra_events: Optional[Sequence[dict]] = None,
+                    lane_per_root: bool = False) -> dict:
+    """Export a tracer's spans/events/counters as a Chrome trace dict.
+
+    ``lane_per_root`` gives every root span its own thread lane
+    (tid = root index + 1) with a thread_name taken from the span's
+    args (request op/unit when present) — the serve layer uses it so a
+    traced server run renders one lane per request.
+    """
     origin = 0.0
     starts = [root.start for root in tracer.roots]
     starts.extend(event.ts for event in tracer.events)
@@ -52,8 +58,19 @@ def to_chrome_trace(tracer: Tracer, pid: int = 1, tid: int = 1,
     trace_events: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
         "ts": 0, "args": {"name": _PROCESS_NAME}}]
-    for root in tracer.roots:
-        _span_events(root, origin, pid, tid, trace_events)
+    for index, root in enumerate(tracer.roots):
+        root_tid = tid
+        if lane_per_root:
+            root_tid = index + 1
+            args = root.args or {}
+            label = " ".join(str(args[key]) for key in
+                             ("op", "unit", "file", "path")
+                             if key in args) or root.name
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": root_tid, "ts": 0,
+                "args": {"name": f"request {index + 1}: {label}"}})
+        _span_events(root, origin, pid, root_tid, trace_events)
     for event in tracer.events:
         record = {"name": event.name, "ph": "i", "s": "t",
                   "cat": "event",

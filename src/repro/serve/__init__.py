@@ -1,0 +1,57 @@
+"""Persistent parse service: warm caches, incremental re-parsing.
+
+Every batch entry point (``superc-parse``, ``superc-batch``) is a
+cold process: it re-pays grammar-table loading, include-closure reads,
+and macro-table construction per invocation.  This subsystem is the
+long-lived alternative — a daemon that parses over warm state with
+sub-second repeat latency, built for interactive variability tooling:
+
+* :class:`ServerState` (``state.py``) — warm LALR tables in one
+  reusable session, a content-fingerprinted file store, and per-unit
+  parse entries keyed ``(source digest, include-closure digest,
+  config digest)``, layered over the batch engine's on-disk
+  :class:`repro.engine.ResultCache` so daemon and batch runs share one
+  result cache;
+* :mod:`repro.serve.incremental` — reverse include-graph invalidation
+  (edit a header, drop exactly its dependents) and token-level
+  fingerprints that short-circuit re-parses after layout-only edits;
+* :class:`AdmissionQueue` (``admission.py``) — bounded queueing with
+  ``status=shed`` load shedding, per-request deadlines reusing the
+  engine's SIGALRM machinery, and graceful drain on shutdown;
+* :class:`ParseServer` / :class:`ParseService` (``server.py``) — the
+  newline-delimited JSON protocol (``parse`` / ``invalidate`` /
+  ``stats`` / ``shutdown``) over Unix-domain or TCP sockets;
+* :class:`ServeClient` (``client.py``) — the client library behind
+  the ``superc-serve`` CLI; served parses satisfy the same structural
+  Result protocol as local ones.
+
+Typical use::
+
+    from repro.serve import ParseServer, ServeClient
+
+    server = ParseServer(socket_path="/tmp/superc.sock",
+                         include_paths=("include",)).start()
+    with ServeClient(socket_path="/tmp/superc.sock") as client:
+        result = client.parse("drivers/mousedev.c")   # miss: parses
+        result = client.parse("drivers/mousedev.c")   # hit: warm
+        client.invalidate("include/major.h")          # drops dependents
+        client.shutdown()                             # graceful drain
+"""
+
+from repro.serve.admission import AdmissionQueue, Deadline, QueueClosed
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.incremental import (InvalidationIndex,
+                                     file_token_digest,
+                                     token_fingerprint)
+from repro.serve.server import (OPS, PROTOCOL_VERSION, STATUS_SHED,
+                                ParseServer, ParseService)
+from repro.serve.state import (TIER_DISK, TIER_MEMORY, TIER_TOKEN,
+                               FileStore, ParseEntry, ServerState)
+
+__all__ = [
+    "AdmissionQueue", "Deadline", "FileStore", "InvalidationIndex",
+    "OPS", "PROTOCOL_VERSION", "ParseEntry", "ParseServer",
+    "ParseService", "QueueClosed", "STATUS_SHED", "ServeClient",
+    "ServeError", "ServerState", "TIER_DISK", "TIER_MEMORY",
+    "TIER_TOKEN", "file_token_digest", "token_fingerprint",
+]

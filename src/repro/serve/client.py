@@ -1,0 +1,165 @@
+"""Client for the parse daemon: sockets in, Result protocol out.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.server` over a Unix-domain socket or TCP.  The
+synchronous helpers (:meth:`parse`, :meth:`invalidate`, :meth:`stats`,
+:meth:`shutdown`) send one request and block for its response;
+:meth:`submit` / :meth:`drain` pipeline many requests at once (burst
+testing, editors batching a save-storm) and match responses by ``id``.
+
+``parse`` wraps the response record in
+:class:`repro.engine.UnitResult`, so a served parse satisfies the same
+structural Result protocol (``status/ok/degraded/diagnostics/timing/
+profile``) as a local ``repro.parse`` call — callers can switch
+between in-process and daemon parsing without changing a line.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.results import UnitResult
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServeError(ConnectionError):
+    """The server connection failed or answered garbage."""
+
+
+class ServeClient:
+    """One connection to a running parse daemon."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 timeout: float = DEFAULT_TIMEOUT):
+        if socket_path is None and port is None:
+            raise ValueError("need socket_path or host/port")
+        self.socket_path = socket_path
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._recv_buffer = b""
+        self._next_id = 0
+        self._pending: Dict[Any, dict] = {}
+
+    # -- connection ----------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX,
+                                     socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise ServeError(f"cannot connect to parse server: {exc}") \
+                from exc
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire ----------------------------------------------------------
+
+    def submit(self, op: str, **fields: Any) -> int:
+        """Send one request without waiting; returns its ``id``."""
+        self.connect()
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op}
+        request.update({key: value for key, value in fields.items()
+                        if value is not None})
+        payload = (json.dumps(request) + "\n").encode("utf-8")
+        try:
+            self._sock.sendall(payload)
+        except OSError as exc:
+            raise ServeError(f"send failed: {exc}") from exc
+        return self._next_id
+
+    def _read_response(self) -> dict:
+        while b"\n" not in self._recv_buffer:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as exc:
+                raise ServeError(f"receive failed: {exc}") from exc
+            if not chunk:
+                raise ServeError("server closed the connection")
+            self._recv_buffer += chunk
+        line, _sep, self._recv_buffer = \
+            self._recv_buffer.partition(b"\n")
+        try:
+            return json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServeError(f"bad response line: {exc}") from exc
+
+    def wait_for(self, request_id: int) -> dict:
+        """Response for ``request_id``; responses arriving out of order
+        (sheds overtaking parses) are parked for their own waiters."""
+        if request_id in self._pending:
+            return self._pending.pop(request_id)
+        while True:
+            response = self._read_response()
+            if response.get("id") == request_id:
+                return response
+            self._pending[response.get("id")] = response
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request and block for its response."""
+        return self.wait_for(self.submit(op, **fields))
+
+    def drain(self, request_ids: List[int]) -> List[dict]:
+        """Collect responses for a pipelined burst, in request order."""
+        return [self.wait_for(request_id) for request_id in request_ids]
+
+    # -- ops -----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def parse(self, path: Optional[str] = None,
+              text: Optional[str] = None,
+              filename: Optional[str] = None,
+              deadline: Optional[float] = None,
+              fresh: bool = False) -> UnitResult:
+        """Parse via the daemon; returns a Result-protocol view whose
+        ``.record`` carries the full response (``cache``, ``tier``,
+        ``serve`` timings included)."""
+        response = self.request("parse", path=path, text=text,
+                                filename=filename, deadline=deadline,
+                                fresh=fresh or None)
+        # Shed/timeout responses carry no record body; keep the
+        # UnitResult view total anyway.
+        response.setdefault("unit", path or filename or "<input>")
+        return UnitResult(response)
+
+    def invalidate(self, path: str,
+                   text: Optional[str] = None) -> dict:
+        return self.request("invalidate", path=path, text=text)
+
+    def stats(self) -> dict:
+        response = self.request("stats")
+        return response.get("stats") or {}
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

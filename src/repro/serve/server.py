@@ -1,0 +1,492 @@
+"""The parse daemon: protocol, service logic, and socket front end.
+
+**Protocol.**  Newline-delimited JSON over a Unix-domain socket or
+TCP.  Each request is one JSON object on one line; each response is
+one JSON object on one line carrying the request's ``id`` back.
+Requests may be pipelined — the server reads ahead and admission
+control decides per request — and responses to shed requests can
+overtake responses to admitted ones (match on ``id``).
+
+Request shapes (``op`` selects the type)::
+
+    {"id": 1, "op": "parse", "path": "drivers/mousedev.c"}
+    {"id": 2, "op": "parse", "text": "int x;", "filename": "<buf>"}
+    {"id": 3, "op": "invalidate", "path": "include/major.h"}
+    {"id": 4, "op": "invalidate", "path": "a.h", "text": "#define A"}
+    {"id": 5, "op": "stats"}
+    {"id": 6, "op": "shutdown"}
+
+``parse`` extras: ``deadline`` (seconds, overrides the server
+default), ``fresh`` (true skips every cache tier), ``delay`` (testing
+aid: sleep before parsing, so smoke tests can pile up a burst
+deterministically).
+
+Parse responses carry the structural Result protocol as JSON —
+``status``, ``diagnostics``, ``timing``, ``profile`` — in the same
+record shape the batch engine emits, plus serve-side fields::
+
+    {"id": 1, "op": "parse", "status": "ok", "cache": "hit",
+     "tier": "memory", "serve": {"queue_seconds": ..., "seconds": ...},
+     "timing": {...}, "diagnostics": [...], "profile": ..., ...}
+
+Overload answers ``{"status": "shed", "error": "queue depth ..."}``
+immediately; a server past ``shutdown`` answers new work with
+``status=shed`` too (``"draining"``), while everything admitted before
+the shutdown is still served (graceful drain).
+
+**Architecture.**  The acceptor and per-connection readers are
+daemon threads that only do admission (cheap, never parse); all
+parsing happens on the single thread that called
+:meth:`ParseServer.serve_forever` — the process's main thread under
+the CLI, which is exactly what lets per-request deadlines reuse the
+engine's SIGALRM :func:`repro.engine.attempt_deadline`.  Off the main
+thread (e.g. tests embedding the server in a thread) deadlines degrade
+to admission-time expiry checks.
+
+Every request is observable: a ``serve.request`` span per request
+(lane-per-request in the Chrome export), ``serve.requests`` /
+``serve.cache.hit`` / ``serve.cache.miss`` / ``serve.shed`` counters,
+and the ``serve.queue_depth`` histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import Config
+from repro.engine import DEFAULT_OPTIMIZATION, DeadlineExceeded, \
+    attempt_deadline
+from repro.engine.results import STATUS_ERROR, STATUS_TIMEOUT
+from repro.obs.tracer import NULL_TRACER
+from repro.serve.admission import AdmissionQueue, Deadline, QueueClosed
+from repro.serve.state import ServerState
+
+# Serve-specific response status (alongside the engine's ok/degraded/
+# parse-failed/error/timeout): the request was refused by admission
+# control and no work was done.
+STATUS_SHED = "shed"
+
+PROTOCOL_VERSION = 1
+
+OPS = ("parse", "invalidate", "stats", "shutdown", "ping")
+
+
+class ParseService:
+    """Transport-independent request handler over warm server state.
+
+    ``handle(request) -> response`` implements every op synchronously;
+    the socket layer adds queueing, deadlines, and shedding around it.
+    Tests (and in-process embedders) can call it directly.
+    """
+
+    def __init__(self, state: ServerState, tracer: Any = None):
+        self.state = state
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.started = time.monotonic()
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        op = request.get("op")
+        self.requests += 1
+        if self.tracer.enabled:
+            self.tracer.count("serve.requests")
+        handler = getattr(self, f"_op_{op}", None) if op in OPS else None
+        if handler is None:
+            return self._reply(request, status=STATUS_ERROR,
+                               error=f"unknown op {op!r}")
+        try:
+            return handler(request)
+        except DeadlineExceeded:
+            raise
+        except Exception as exc:  # confine: a bad request never kills
+            return self._reply(request, status=STATUS_ERROR,
+                               error=repr(exc))
+
+    @staticmethod
+    def _reply(request: dict, **fields: Any) -> dict:
+        response = {"id": request.get("id"), "op": request.get("op")}
+        response.update(fields)
+        return response
+
+    # -- ops -----------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return self._reply(request, status="ok",
+                           protocol=PROTOCOL_VERSION)
+
+    def _op_parse(self, request: dict) -> dict:
+        state = self.state
+        path = request.get("path")
+        text = request.get("text")
+        filename = request.get("filename") or path or "<input>"
+        delay = float(request.get("delay") or 0.0)
+        if delay > 0:  # testing aid — lets smoke tests build a backlog
+            time.sleep(delay)
+        if text is None:
+            if path is None:
+                return self._reply(request, status=STATUS_ERROR,
+                                   error="parse needs path or text")
+            text = state.files.read(path)
+            if text is None:
+                return self._reply(request, status=STATUS_ERROR,
+                                   error=f"cannot read {path}")
+        elif path is not None:
+            # An explicit buffer for a known path is an overlay edit.
+            state.files.put(path, text)
+            state.index.mark_dirty()
+        unit = path or filename
+        with self.tracer.span("serve.request", op="parse", unit=unit):
+            key, _closure_digest, members = state.unit_key(unit, text)
+            record: Optional[dict] = None
+            tier: Optional[str] = None
+            if not request.get("fresh"):
+                record, tier = state.lookup(unit, key, members)
+            if record is not None:
+                self.hits += 1
+                if self.tracer.enabled:
+                    self.tracer.count("serve.cache.hit")
+                record = dict(record)
+                record["cache"] = "hit"
+            else:
+                self.misses += 1
+                if self.tracer.enabled:
+                    self.tracer.count("serve.cache.miss")
+                record = dict(state.parse(unit, text, key, members))
+                record["cache"] = "miss"
+                tier = None
+        return self._reply(request, tier=tier, **record)
+
+    def _op_invalidate(self, request: dict) -> dict:
+        path = request.get("path")
+        if not path:
+            return self._reply(request, status=STATUS_ERROR,
+                               error="invalidate needs a path")
+        with self.tracer.span("serve.request", op="invalidate",
+                              path=path):
+            dropped = self.state.invalidate(path, request.get("text"))
+            if self.tracer.enabled:
+                self.tracer.count("serve.invalidated", len(dropped))
+        return self._reply(request, status="ok", invalidated=dropped,
+                           count=len(dropped))
+
+    def _op_stats(self, request: dict) -> dict:
+        stats = {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "requests": self.requests,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+        }
+        stats.update(self.state.stats())
+        return self._reply(request, status="ok", stats=stats)
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # The socket server intercepts shutdown for draining; handled
+        # directly (in-process use) it just acknowledges.
+        return self._reply(request, status="ok", draining=True)
+
+
+class _Connection:
+    """One client connection: buffered line reader + locked writer."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._recv_buffer = b""
+        self._write_lock = threading.Lock()
+        self.closed = False
+
+    def read_request(self) -> Optional[dict]:
+        """Next newline-delimited JSON object, or None at EOF."""
+        while b"\n" not in self._recv_buffer:
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self._recv_buffer += chunk
+        line, _sep, rest = self._recv_buffer.partition(b"\n")
+        self._recv_buffer = rest
+        if not line.strip():
+            return self.read_request()
+        return json.loads(line.decode("utf-8"))
+
+    def send(self, response: dict) -> None:
+        payload = (json.dumps(response) + "\n").encode("utf-8")
+        with self._write_lock:
+            if self.closed:
+                return
+            try:
+                self.sock.sendall(payload)
+            except OSError:
+                self.closed = True
+
+    def close(self) -> None:
+        with self._write_lock:
+            self.closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class _QueuedRequest:
+    """An admitted request waiting for the worker."""
+
+    __slots__ = ("request", "connection", "deadline", "admitted",
+                 "shutdown")
+
+    def __init__(self, request: dict, connection: _Connection,
+                 deadline: Deadline, shutdown: bool = False):
+        self.request = request
+        self.connection = connection
+        self.deadline = deadline
+        self.admitted = time.monotonic()
+        self.shutdown = shutdown
+
+
+class ParseServer:
+    """Socket front end: accepts, admits, serves, drains.
+
+    Bind with ``socket_path`` (Unix domain) or ``host``/``port``
+    (TCP; port 0 picks a free port, see :attr:`address`).  Call
+    :meth:`serve_forever` on the thread that should do the parsing —
+    the main thread for SIGALRM-hard deadlines — or :meth:`start` to
+    spawn everything in the background (tests, notebooks).
+    """
+
+    def __init__(self, state: Optional[ServerState] = None,
+                 socket_path: Optional[str] = None,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 max_queue: int = 64,
+                 deadline_seconds: float = 0.0,
+                 tracer: Any = None,
+                 config: Optional[Config] = None,
+                 optimization: str = DEFAULT_OPTIMIZATION,
+                 cache_dir: Optional[str] = None,
+                 use_result_cache: bool = True,
+                 **config_overrides: Any):
+        if state is None:
+            state = ServerState(config, optimization=optimization,
+                                cache_dir=cache_dir,
+                                use_result_cache=use_result_cache,
+                                **config_overrides)
+        self.state = state
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.service = ParseService(state, tracer=self.tracer)
+        self.queue = AdmissionQueue(max_queue, tracer=self.tracer)
+        self.deadline_seconds = max(0.0, deadline_seconds)
+        self.socket_path = socket_path
+        self._requested_host = host
+        self._requested_port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._listener: Optional[socket.socket] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._worker: Optional[threading.Thread] = None
+        self._connections: List[_Connection] = []
+        self._connections_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self.drained = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self) -> None:
+        """Create and bind the listening socket (idempotent)."""
+        if self._listener is not None:
+            return
+        if self.socket_path:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            listener = socket.socket(socket.AF_UNIX,
+                                     socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET,
+                                     socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET,
+                                socket.SO_REUSEADDR, 1)
+            listener.bind((self._requested_host or "127.0.0.1",
+                           self._requested_port or 0))
+            self.address = listener.getsockname()[:2]
+        listener.listen(16)
+        self._listener = listener
+
+    def start(self) -> "ParseServer":
+        """Bind and run acceptor + worker as background threads."""
+        self.bind()
+        self._acceptor = threading.Thread(target=self._accept_loop,
+                                          name="serve-acceptor",
+                                          daemon=True)
+        self._acceptor.start()
+        self._worker = threading.Thread(target=self._work_loop,
+                                        name="serve-worker",
+                                        daemon=True)
+        self._worker.start()
+        return self
+
+    def serve_forever(self) -> int:
+        """Bind, accept in the background, and parse on *this* thread
+        until a ``shutdown`` request drains the queue.  Returns the
+        number of requests served during the drain."""
+        self.bind()
+        self._acceptor = threading.Thread(target=self._accept_loop,
+                                          name="serve-acceptor",
+                                          daemon=True)
+        self._acceptor.start()
+        self._work_loop()
+        return self.drained
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server has fully stopped."""
+        return self._stopped.wait(timeout)
+
+    def close(self) -> None:
+        """Hard stop: close the listener and every connection.  Prefer
+        a ``shutdown`` request for a graceful drain."""
+        self.queue.begin_drain()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        if self.socket_path:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._stopped.set()
+
+    # -- acceptor side (daemon threads; admission only) ----------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self.queue.draining:
+            try:
+                sock, _addr = listener.accept()
+            except OSError:
+                return
+            connection = _Connection(sock)
+            with self._connections_lock:
+                self._connections.append(connection)
+            reader = threading.Thread(
+                target=self._read_loop, args=(connection,),
+                name="serve-reader", daemon=True)
+            reader.start()
+
+    def _read_loop(self, connection: _Connection) -> None:
+        while True:
+            try:
+                request = connection.read_request()
+            except (ValueError, UnicodeDecodeError) as exc:
+                connection.send({"id": None, "op": None,
+                                 "status": STATUS_ERROR,
+                                 "error": f"bad request line: {exc}"})
+                continue
+            if request is None:
+                return
+            self._admit(request, connection)
+
+    def _admit(self, request: dict, connection: _Connection) -> None:
+        op = request.get("op")
+        if op == "shutdown":
+            # Atomically flip to draining and land the sentinel behind
+            # everything already queued: later submits shed, earlier
+            # work still drains, and the worker answers the shutdown
+            # last.
+            self.queue.close_with(
+                _QueuedRequest(request, connection, Deadline(0.0),
+                               shutdown=True))
+            return
+        if op in ("stats", "ping"):
+            # Control plane: answered inline by the reader thread, so
+            # health checks and stats stay responsive under load.
+            connection.send(self.service.handle(request))
+            return
+        deadline = Deadline(float(request.get("deadline")
+                                  or self.deadline_seconds))
+        queued = _QueuedRequest(request, connection, deadline)
+        if not self.queue.submit(queued):
+            reason = ("draining" if self.queue.draining else
+                      f"queue depth {self.queue.max_depth} exceeded")
+            connection.send({"id": request.get("id"), "op": op,
+                             "status": STATUS_SHED, "error": reason})
+
+    # -- worker side (the parsing thread) ------------------------------
+
+    def _work_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    queued = self.queue.pop(timeout=0.5)
+                except QueueClosed:
+                    return
+                if queued is None:
+                    continue
+                if queued.shutdown:
+                    self._finish_drain(queued)
+                    return
+                self._serve_one(queued)
+        finally:
+            self.close()
+
+    def _serve_one(self, queued: _QueuedRequest) -> None:
+        request, deadline = queued.request, queued.deadline
+        queue_seconds = time.monotonic() - queued.admitted
+        if deadline.expired():
+            # Spent its whole budget waiting: answer timeout without
+            # doing the work (the engine's deadline semantics, applied
+            # to queue wait).
+            if self.tracer.enabled:
+                self.tracer.count("serve.deadline.expired")
+            queued.connection.send({
+                "id": request.get("id"), "op": request.get("op"),
+                "status": STATUS_TIMEOUT,
+                "error": f"deadline of {deadline.seconds:.3g}s "
+                         f"expired after {queue_seconds:.3g}s in queue"})
+            return
+        started = time.monotonic()
+        try:
+            with attempt_deadline(deadline.remaining()
+                                  if deadline.enabled else 0.0):
+                response = self.service.handle(request)
+        except DeadlineExceeded:
+            response = {"id": request.get("id"),
+                        "op": request.get("op"),
+                        "status": STATUS_TIMEOUT,
+                        "error": f"deadline of {deadline.seconds:.3g}s "
+                                 f"exceeded while parsing"}
+        response.setdefault("serve", {})
+        response["serve"].update({
+            "queue_seconds": round(queue_seconds, 6),
+            "seconds": round(time.monotonic() - started, 6),
+        })
+        queued.connection.send(response)
+
+    def _finish_drain(self, queued: _QueuedRequest) -> None:
+        # Everything admitted before the shutdown has been served (the
+        # queue is FIFO and shutdown was submitted after begin_drain).
+        self.drained = self.service.requests
+        response = self.service.handle(queued.request)
+        response["drained"] = self.drained
+        response["serve"] = {"queue_seconds":
+                             round(time.monotonic() - queued.admitted,
+                                   6),
+                             "seconds": 0.0}
+        queued.connection.send(response)

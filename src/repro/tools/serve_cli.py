@@ -1,0 +1,296 @@
+"""Command-line interface: the persistent parse daemon and its client.
+
+Server mode (foreground; parsing happens on the main thread so
+per-request deadlines get the engine's SIGALRM enforcement)::
+
+    python -m repro.tools.serve_cli --socket /tmp/superc.sock \\
+        -I include [--max-queue 64] [--deadline 5] [--trace out.json]
+    python -m repro.tools.serve_cli --port 7433   # TCP (port 0 = pick)
+
+Client mode (any op flag switches to client; ops run in the order
+parse → invalidate → stats → shutdown, each against the same
+daemon)::
+
+    python -m repro.tools.serve_cli --socket /tmp/superc.sock \\
+        --parse drivers/mousedev.c --parse drivers/mousedev.c --json
+    python -m repro.tools.serve_cli --socket /tmp/superc.sock \\
+        --invalidate include/major.h --stats --shutdown
+
+Smoke mode (``--smoke FILE``) runs the whole serve contract
+in-process over a real Unix socket: warm-hit on the second identical
+request, reverse-invalidation on a header edit, ``status=shed`` under
+an over-depth burst, and a clean draining shutdown — exits nonzero on
+the first violated expectation (the Makefile ``serve-smoke`` target).
+
+Exit status: 0 success; 1 a client op failed (parse error, shed,
+smoke expectation violated); 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from repro.engine import DEFAULT_OPTIMIZATION
+from repro.parser.fmlr import OPTIMIZATION_LEVELS
+from repro.tools.parse_cli import parse_defines
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="superc-serve",
+        description="Persistent configuration-preserving parse "
+                    "service (daemon + client).")
+    endpoint = parser.add_argument_group("endpoint")
+    endpoint.add_argument("--socket", metavar="PATH",
+                          help="Unix-domain socket path")
+    endpoint.add_argument("--host", default="127.0.0.1",
+                          help="TCP bind/connect host")
+    endpoint.add_argument("--port", type=int, metavar="N",
+                          help="TCP port (server: 0 picks a free one)")
+    server = parser.add_argument_group("server")
+    server.add_argument("-I", "--include", action="append",
+                        default=[], metavar="DIR",
+                        help="add an include search directory")
+    server.add_argument("-D", "--define", action="append", default=[],
+                        metavar="NAME[=VALUE]",
+                        help="predefine an object-like macro")
+    server.add_argument("--optimization", default=DEFAULT_OPTIMIZATION,
+                        choices=sorted(OPTIMIZATION_LEVELS),
+                        help="FMLR optimization level")
+    server.add_argument("--max-queue", type=int, default=64,
+                        metavar="N",
+                        help="admission depth; further requests are "
+                             "shed (default 64)")
+    server.add_argument("--deadline", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="default per-request deadline "
+                             "(0 disables)")
+    server.add_argument("--cache-dir", metavar="DIR",
+                        help="result-cache directory (shared with "
+                             "superc-batch)")
+    server.add_argument("--no-result-cache", action="store_true",
+                        help="serve from memory only; do not read or "
+                             "write the on-disk result cache")
+    server.add_argument("--trace", metavar="FILE",
+                        help="record the server with repro.obs and "
+                             "write a Chrome trace (one lane per "
+                             "request) on shutdown")
+    client = parser.add_argument_group("client ops")
+    client.add_argument("--parse", action="append", default=[],
+                        metavar="FILE", dest="parse_paths",
+                        help="request a parse of FILE (repeatable; "
+                             "implies client mode)")
+    client.add_argument("--fresh", action="store_true",
+                        help="bypass every cache tier for --parse")
+    client.add_argument("--invalidate", action="append", default=[],
+                        metavar="PATH", dest="invalidate_paths",
+                        help="invalidate PATH (repeatable)")
+    client.add_argument("--stats", action="store_true",
+                        help="fetch server statistics")
+    client.add_argument("--shutdown", action="store_true",
+                        help="request a graceful draining shutdown")
+    client.add_argument("--json", action="store_true",
+                        help="print raw JSON responses")
+    parser.add_argument("--smoke", metavar="FILE",
+                        help="run the end-to-end serve smoke against "
+                             "FILE (starts its own server)")
+    parser.add_argument("--smoke-header", metavar="PATH",
+                        help="header to invalidate during --smoke "
+                             "(default: first include dir header)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    client_mode = bool(args.parse_paths or args.invalidate_paths
+                       or args.stats or args.shutdown)
+    if args.socket is None and args.port is None:
+        print("error: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    if client_mode:
+        return run_client(args)
+    return run_server(args)
+
+
+def run_server(args) -> int:
+    from repro.serve import ParseServer
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    server = ParseServer(
+        socket_path=args.socket, host=args.host, port=args.port,
+        max_queue=args.max_queue, deadline_seconds=args.deadline,
+        tracer=tracer, optimization=args.optimization,
+        cache_dir=args.cache_dir,
+        use_result_cache=not args.no_result_cache,
+        include_paths=tuple(args.include),
+        extra_definitions=parse_defines(args.define) or None)
+    server.bind()
+    where = args.socket or "%s:%d" % server.address
+    print(f"superc-serve: listening on {where}", file=sys.stderr)
+    served = server.serve_forever()
+    print(f"superc-serve: drained after {served} request(s)",
+          file=sys.stderr)
+    if args.trace:
+        from repro.obs import write_chrome_trace, to_chrome_trace
+        write_chrome_trace(args.trace,
+                           to_chrome_trace(tracer, lane_per_root=True))
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def run_client(args) -> int:
+    from repro.serve import ServeClient, ServeError
+    failures = 0
+    try:
+        with ServeClient(socket_path=args.socket, host=args.host,
+                         port=args.port) as client:
+            for path in args.parse_paths:
+                result = client.parse(path, fresh=args.fresh)
+                record = result.record
+                if args.json:
+                    print(json.dumps(record, sort_keys=True))
+                else:
+                    serve = record.get("serve") or {}
+                    print(f"{path}: {result.status} "
+                          f"(cache {record.get('cache', '?')}"
+                          f"{'/' + record['tier'] if record.get('tier') else ''}, "
+                          f"{serve.get('seconds', 0.0):.3f}s)")
+                if result.status not in ("ok", "degraded"):
+                    failures += 1
+            for path in args.invalidate_paths:
+                response = client.invalidate(path)
+                if args.json:
+                    print(json.dumps(response, sort_keys=True))
+                else:
+                    print(f"invalidate {path}: "
+                          f"{response.get('count', 0)} unit(s) dropped")
+                if response.get("status") != "ok":
+                    failures += 1
+            if args.stats:
+                stats = client.stats()
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            if args.shutdown:
+                response = client.shutdown()
+                if args.json:
+                    print(json.dumps(response, sort_keys=True))
+                else:
+                    print(f"shutdown: drained "
+                          f"{response.get('drained', 0)} request(s)")
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+def run_smoke(args) -> int:
+    """End-to-end serve contract over a real Unix socket."""
+    from repro.serve import ParseServer, ServeClient
+
+    unit = args.smoke
+    if not os.path.isfile(unit):
+        print(f"error: cannot read {unit}", file=sys.stderr)
+        return 2
+    header = args.smoke_header
+    if header is None:
+        for root in args.include:
+            names = sorted(name for name in os.listdir(root)
+                           if name.endswith(".h"))
+            if names:
+                header = os.path.join(root, names[0])
+                break
+    checks: List[str] = []
+
+    def expect(condition: bool, label: str) -> None:
+        status = "ok" if condition else "FAIL"
+        checks.append(f"  [{status}] {label}")
+        if not condition:
+            raise AssertionError(label)
+
+    tmp = tempfile.mkdtemp(prefix="superc-serve-smoke-")
+    sock = os.path.join(tmp, "serve.sock")
+    server = ParseServer(
+        socket_path=sock, max_queue=2,
+        optimization=args.optimization,
+        cache_dir=os.path.join(tmp, "cache"),
+        include_paths=tuple(args.include),
+        extra_definitions=parse_defines(args.define) or None).start()
+    try:
+        with ServeClient(socket_path=sock) as client:
+            first = client.parse(unit).record
+            expect(first["status"] in ("ok", "degraded"),
+                   f"first parse usable (status={first['status']})")
+            expect(first["cache"] == "miss", "first parse is a miss")
+            second = client.parse(unit).record
+            expect(second["cache"] == "hit",
+                   "second identical request is a cache hit")
+            expect(second["serve"]["seconds"]
+                   <= max(0.005, first["serve"]["seconds"]),
+                   "warm hit is not slower than the cold parse")
+            stats = client.stats()
+            expect(stats["cache_hits"] >= 1,
+                   "serve.cache.hit counter advanced")
+
+            if header:
+                # Overlay edit: changed header content, so dependent
+                # units' closure digests move and a real re-parse is
+                # forced (a plain invalidate of unchanged content
+                # would legitimately re-hit the content-addressed
+                # cache).
+                with open(header, "r", encoding="utf-8") as handle:
+                    header_text = handle.read()
+                response = client.invalidate(
+                    header,
+                    text=header_text + "\n#define SERVE_SMOKE_EDIT 1\n")
+                expect(response["status"] == "ok"
+                       and unit in response["invalidated"],
+                       f"invalidate({header}) drops the dependent "
+                       f"unit")
+                third = client.parse(unit).record
+                expect(third["cache"] == "miss",
+                       "edited header forces a real re-parse")
+                expect(third["status"] in ("ok", "degraded"),
+                       "re-parse after invalidate is usable")
+
+            # Over-depth burst: the first request sleeps, the rest
+            # pile up behind it; with max_queue=2 at least one must be
+            # shed instead of queueing without bound.
+            ids = [client.submit("parse", path=unit, delay=0.5,
+                                 fresh=True)]
+            ids += [client.submit("parse", path=unit, fresh=True)
+                    for _ in range(6)]
+            burst = client.drain(ids)
+            statuses = [response["status"] for response in burst]
+            expect(any(status == "shed" for status in statuses),
+                   f"over-depth burst sheds "
+                   f"({statuses.count('shed')}/{len(statuses)} shed)")
+            expect(all(status in ("ok", "degraded", "shed")
+                       for status in statuses),
+                   "burst responses are served or shed, never lost")
+
+            response = client.shutdown()
+            expect(response["status"] == "ok",
+                   f"shutdown drains cleanly "
+                   f"(drained={response.get('drained')})")
+        expect(server.wait(10.0), "server stopped after drain")
+    except AssertionError as error:
+        print("\n".join(checks))
+        print(f"serve-smoke: FAILED — {error}", file=sys.stderr)
+        return 1
+    finally:
+        server.close()
+    print("\n".join(checks))
+    print("serve-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

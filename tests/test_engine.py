@@ -8,10 +8,11 @@ import pytest
 from repro.corpus import KernelSpec, generate_kernel
 from repro.cpp import DictFileSystem
 from repro.engine import (BatchEngine, CorpusJob, CorpusReport,
-                          EngineConfig, MetricsStream, STATUS_DEGRADED,
+                          EngineConfig, MetricsStream, ResultCache,
+                          STATUS_DEGRADED,
                           STATUS_ERROR, STATUS_OK, STATUS_TIMEOUT,
-                          format_report, include_closure_digest,
-                          percentile)
+                          format_report, include_closure,
+                          include_closure_digest, percentile)
 
 # Statuses that count as a usable result: the synthetic corpus's
 # drivers carry guarded #error directives (mutually exclusive config
@@ -228,6 +229,175 @@ class TestResultCache:
         by_unit = {r["unit"]: r for r in warm.records}
         assert by_unit[bad]["cache"] == "miss"
         assert by_unit[bad]["status"] in USABLE
+
+
+class TestResultCacheDurability:
+    """Result-cache publication must be atomic and litter-free: a
+    concurrent reader (a serve daemon sharing the cache with a batch
+    run) sees the previous complete entry or the new complete entry,
+    never partial JSON, and failed writes leave nothing behind."""
+
+    RECORD = {"unit": "a.c", "status": "ok", "cache": "miss"}
+
+    def cache_and_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path), "fp")
+        return cache, cache.key_for("a.c", "int a;\n", "digest")
+
+    def test_put_writes_temp_then_replaces(self, tmp_path,
+                                           monkeypatch):
+        cache, key = self.cache_and_key(tmp_path)
+        final = os.path.join(cache.directory, f"{key}.json")
+        observed = {}
+        real_dump = json.dump
+
+        def spying_dump(obj, handle, **kwargs):
+            observed["target"] = handle.name
+            observed["final_visible"] = os.path.exists(final)
+            return real_dump(obj, handle, **kwargs)
+
+        monkeypatch.setattr("repro.engine.cache.json.dump",
+                            spying_dump)
+        cache.put(key, dict(self.RECORD))
+        assert observed["target"] != final
+        assert observed["final_visible"] is False
+        assert cache.get(key) == self.RECORD
+
+    def test_interrupted_write_leaves_no_artifacts(self, tmp_path,
+                                                   monkeypatch):
+        cache, key = self.cache_and_key(tmp_path)
+
+        def exploding_dump(obj, handle, **kwargs):
+            handle.write('{"partial": ')
+            raise OSError("disk full")
+
+        with monkeypatch.context() as patch:
+            patch.setattr("repro.engine.cache.json.dump",
+                          exploding_dump)
+            cache.put(key, dict(self.RECORD))  # must not raise
+        assert cache.get(key) is None
+        assert os.listdir(cache.directory) == []
+
+    def test_interrupted_write_preserves_previous_entry(
+            self, tmp_path, monkeypatch):
+        cache, key = self.cache_and_key(tmp_path)
+        cache.put(key, dict(self.RECORD))
+
+        def exploding_dump(obj, handle, **kwargs):
+            handle.write('{"partial": ')
+            raise OSError("disk full")
+
+        with monkeypatch.context() as patch:
+            patch.setattr("repro.engine.cache.json.dump",
+                          exploding_dump)
+            cache.put(key, {"unit": "a.c", "status": "error"})
+        assert cache.get(key) == self.RECORD
+
+    def test_unserializable_record_leaves_no_artifacts(self, tmp_path):
+        cache, key = self.cache_and_key(tmp_path)
+        cache.put(key, {"bad": {1, 2, 3}})  # sets are not JSON
+        assert cache.get(key) is None
+        assert os.listdir(cache.directory) == []
+
+    def test_delete(self, tmp_path):
+        cache, key = self.cache_and_key(tmp_path)
+        cache.put(key, dict(self.RECORD))
+        assert cache.delete(key)
+        assert not cache.delete(key)
+        assert cache.get(key) is None
+
+
+class TestResultCacheRoundTrip:
+    """Cached records replay diagnostics, profile, and timing verbatim
+    — a warm answer is indistinguishable from the fresh parse except
+    for its ``cache`` field."""
+
+    FILES = {
+        "bad.c": "#if defined(CONFIG_X)\n#error conditional failure\n"
+                 "#endif\nint ok_part;\n",
+        "good.c": "int g;\n",
+    }
+
+    def run_twice(self, tmp_path):
+        job = CorpusJob(["bad.c", "good.c"], files=dict(self.FILES))
+        config = make_config(tmp_path, profile=True)
+        cold = BatchEngine(config).run(job)
+        warm = BatchEngine(config).run(job)
+        return cold, warm
+
+    def test_identical_modulo_cache_field(self, tmp_path):
+        cold, warm = self.run_twice(tmp_path)
+        assert warm.cache_hits == 2
+        cold_by = {r["unit"]: dict(r) for r in cold.records}
+        warm_by = {r["unit"]: dict(r) for r in warm.records}
+        for unit, cold_record in cold_by.items():
+            warm_record = warm_by[unit]
+            assert cold_record.pop("cache") == "miss"
+            assert warm_record.pop("cache") == "hit"
+            assert warm_record == cold_record
+
+    def test_diagnostics_and_profile_survive(self, tmp_path):
+        from repro.engine import UnitResult
+        cold, warm = self.run_twice(tmp_path)
+        cold_by = {r["unit"]: UnitResult(r) for r in cold.records}
+        warm_by = {r["unit"]: UnitResult(r) for r in warm.records}
+        fresh, cached = cold_by["bad.c"], warm_by["bad.c"]
+        # The guarded #error makes the test non-vacuous: there is a
+        # real diagnostic and a real profile to round-trip.
+        assert fresh.status == STATUS_DEGRADED
+        assert len(fresh.diagnostics) == 1
+        assert fresh.profile is not None
+        assert cached.status == fresh.status
+        assert cached.diagnostics == fresh.diagnostics
+        assert cached.profile == fresh.profile
+        assert cached.record["timing"] == fresh.record["timing"]
+
+
+class TestEngineExactInvalidation:
+    """Editing a header shared by N units invalidates exactly those N
+    units and no others, driven through the batch engine directly
+    (the serve-side twin lives in tests/test_serve.py)."""
+
+    FILES = {
+        "include/shared.h": "#define SHARED 1\n",
+        "include/only_a.h": "#include <shared.h>\n#define ONLY_A 2\n",
+        "a.c": "#include <only_a.h>\nint a = SHARED + ONLY_A;\n",
+        "b.c": "#include <shared.h>\nint b = SHARED;\n",
+        "c.c": "int c = 3;\n",
+    }
+    UNITS = ["a.c", "b.c", "c.c"]
+
+    def run(self, tmp_path, files):
+        job = CorpusJob(self.UNITS, include_paths=["include"],
+                        files=dict(files))
+        return BatchEngine(make_config(tmp_path)).run(job)
+
+    def cache_by_unit(self, report):
+        return {r["unit"]: r["cache"] for r in report.records}
+
+    def test_shared_header_edit_hits_exactly_its_dependents(
+            self, tmp_path):
+        self.run(tmp_path, self.FILES)
+        edited = dict(self.FILES)
+        edited["include/shared.h"] = "#define SHARED 9\n"
+        warm = self.run(tmp_path, edited)
+        assert self.cache_by_unit(warm) == {
+            "a.c": "miss", "b.c": "miss", "c.c": "hit"}
+
+    def test_second_level_header_edit_hits_only_its_chain(
+            self, tmp_path):
+        self.run(tmp_path, self.FILES)
+        edited = dict(self.FILES)
+        edited["include/only_a.h"] = \
+            "#include <shared.h>\n#define ONLY_A 7\n"
+        warm = self.run(tmp_path, edited)
+        assert self.cache_by_unit(warm) == {
+            "a.c": "miss", "b.c": "hit", "c.c": "hit"}
+
+    def test_closure_members_match_the_resolver(self):
+        _digest, members = include_closure(
+            DictFileSystem(dict(self.FILES)), "a.c", ["include"])
+        assert members == frozenset(
+            {"a.c", "include/only_a.h", "include/shared.h"})
 
 
 class TestIncludeClosureDigest:

@@ -1,0 +1,546 @@
+"""Tests for the persistent parse service (``repro.serve``)."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import Config, is_result
+from repro.cpp import DictFileSystem
+from repro.engine import (BatchEngine, CorpusJob, EngineConfig,
+                          attempt_deadline, DeadlineExceeded)
+from repro.serve import (AdmissionQueue, Deadline, FileStore,
+                         InvalidationIndex, ParseServer, ParseService,
+                         QueueClosed, STATUS_SHED, ServeClient,
+                         ServeError, ServerState, TIER_DISK,
+                         TIER_MEMORY, TIER_TOKEN, file_token_digest,
+                         token_fingerprint)
+from repro.serve.incremental import build_resolved_include_graph
+
+# A corpus with a header shared by exactly two of three units, plus a
+# second-level header reached only through only_a.h — the shape the
+# reverse-invalidation walk must get exactly right.
+FILES = {
+    "include/shared.h": "#define SHARED 1\n",
+    "include/only_a.h": "#include <shared.h>\n#define ONLY_A 2\n",
+    "a.c": "#include <only_a.h>\nint a = SHARED + ONLY_A;\n",
+    "b.c": "#include <shared.h>\nint b = SHARED;\n",
+    "c.c": "int c = 3;\n",
+}
+INCLUDE_PATHS = ("include",)
+UNITS = ("a.c", "b.c", "c.c")
+
+
+def make_state(tmp_path, files=None, **kwargs):
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ServerState(
+        Config(files=dict(files or FILES),
+               include_paths=INCLUDE_PATHS),
+        **kwargs)
+
+
+def parse_unit(state, unit):
+    text = state.files.read(unit)
+    key, _digest, members = state.unit_key(unit, text)
+    record, tier = state.lookup(unit, key, members)
+    if record is None:
+        record = state.parse(unit, text, key, members)
+    return record, tier
+
+
+class TestFileStore:
+    def test_reads_are_cached_and_fingerprinted(self):
+        store = FileStore(DictFileSystem(dict(FILES)))
+        assert store.read("a.c") == FILES["a.c"]
+        digest = store.digest("a.c")
+        assert digest and len(digest) == 64
+        # The base is not consulted again: mutate it and re-read.
+        store.base.files["a.c"] = "int changed;\n"
+        assert store.read("a.c") == FILES["a.c"]
+
+    def test_invalidate_rereads_base(self):
+        store = FileStore(DictFileSystem(dict(FILES)))
+        store.read("a.c")
+        store.base.files["a.c"] = "int changed;\n"
+        assert store.invalidate("a.c")
+        assert store.read("a.c") == "int changed;\n"
+        assert not store.invalidate("nope.c")
+
+    def test_put_overlays_without_touching_base(self):
+        base = DictFileSystem(dict(FILES))
+        store = FileStore(base)
+        store.put("a.c", "int overlay;\n")
+        assert store.read("a.c") == "int overlay;\n"
+        assert base.read("a.c") == FILES["a.c"]
+
+    def test_known_files_excludes_missing(self):
+        store = FileStore(DictFileSystem(dict(FILES)))
+        store.read("a.c")
+        assert store.read("missing.h") is None
+        known = store.known_files()
+        assert "a.c" in known and "missing.h" not in known
+
+
+class TestTokenFingerprint:
+    def test_layout_edits_do_not_change_it(self):
+        base = file_token_digest("int  x = 1;\n")
+        assert base == file_token_digest("int x/*c*/ = 1;  // t\n")
+        assert base == file_token_digest("\n\nint x\n  = 1;\n")
+
+    def test_real_edits_change_it(self):
+        assert file_token_digest("int x = 1;") \
+            != file_token_digest("int x = 2;")
+
+    def test_closure_membership_is_part_of_it(self):
+        store = FileStore(DictFileSystem(dict(FILES)))
+        one = token_fingerprint(store.read, "a.c",
+                                ["include/only_a.h"])
+        both = token_fingerprint(store.read, "a.c",
+                                 ["include/only_a.h",
+                                  "include/shared.h"])
+        assert one != both
+
+    def test_missing_member_is_stable(self):
+        store = FileStore(DictFileSystem(dict(FILES)))
+        first = token_fingerprint(store.read, "a.c", ["gone.h"])
+        second = token_fingerprint(store.read, "a.c", ["gone.h"])
+        assert first == second
+
+
+class TestInvalidationIndex:
+    def test_resolved_graph_edges(self):
+        graph = build_resolved_include_graph(FILES, INCLUDE_PATHS)
+        assert graph.has_edge("a.c", "include/only_a.h")
+        assert graph.has_edge("include/only_a.h", "include/shared.h")
+        assert graph.has_edge("b.c", "include/shared.h")
+        assert not list(graph.successors("c.c"))
+
+    def test_affected_units_is_exact(self):
+        index = InvalidationIndex(INCLUDE_PATHS)
+        affected = index.affected_units(FILES, "include/shared.h",
+                                        UNITS)
+        assert affected == {"a.c", "b.c"}
+        affected = index.affected_units(FILES, "include/only_a.h",
+                                        UNITS)
+        assert affected == {"a.c"}
+        assert index.affected_units(FILES, "c.c", UNITS) == {"c.c"}
+
+    def test_unknown_path_affects_nothing(self):
+        index = InvalidationIndex(INCLUDE_PATHS)
+        assert index.affected_units(FILES, "include/none.h",
+                                    UNITS) == set()
+
+
+class TestAdmission:
+    def test_fifo_and_depth_limit(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.submit("a") and queue.submit("b")
+        assert not queue.submit("c")
+        assert queue.shed == 1
+        assert queue.pop(0.01) == "a"
+        assert queue.submit("c")  # a slot freed up
+        assert queue.pop(0.01) == "b"
+
+    def test_priority_bypasses_depth(self):
+        queue = AdmissionQueue(max_depth=0)
+        assert not queue.submit("work")
+        assert queue.submit("control", priority=True)
+
+    def test_drain_refuses_then_closes(self):
+        queue = AdmissionQueue(max_depth=8)
+        queue.submit("a")
+        queue.begin_drain()
+        assert not queue.submit("b")
+        assert queue.pop(0.01) == "a"
+        with pytest.raises(QueueClosed):
+            queue.pop(0.01)
+
+    def test_close_with_lands_sentinel_behind_backlog(self):
+        queue = AdmissionQueue(max_depth=8)
+        queue.submit("a")
+        queue.close_with("sentinel")
+        assert queue.pop(0.01) == "a"
+        assert queue.pop(0.01) == "sentinel"
+        with pytest.raises(QueueClosed):
+            queue.pop(0.01)
+
+    def test_deadline(self):
+        assert not Deadline(0.0).enabled
+        assert Deadline(0.0).remaining() == float("inf")
+        expired = Deadline(0.001, start=time.monotonic() - 1.0)
+        assert expired.expired()
+
+    def test_attempt_deadline_off_main_thread_is_soft(self):
+        flags = {}
+
+        def run():
+            with attempt_deadline(0.001) as armed:
+                flags["armed"] = armed
+                time.sleep(0.01)
+                flags["survived"] = True
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+        assert flags == {"armed": False, "survived": True}
+
+    def test_attempt_deadline_fires_on_main_thread(self):
+        import signal
+        if not hasattr(signal, "setitimer"):
+            pytest.skip("no setitimer")
+        with pytest.raises(DeadlineExceeded):
+            with attempt_deadline(0.02):
+                time.sleep(1.0)
+
+
+class TestServerState:
+    def test_miss_then_memory_hit(self, tmp_path):
+        state = make_state(tmp_path)
+        record, tier = parse_unit(state, "a.c")
+        assert tier is None and record["status"] == "ok"
+        record, tier = parse_unit(state, "a.c")
+        assert tier == TIER_MEMORY
+        assert state.parses == 1
+
+    def test_disk_hit_across_restart(self, tmp_path):
+        state = make_state(tmp_path)
+        parse_unit(state, "a.c")
+        reborn = make_state(tmp_path)
+        record, tier = parse_unit(reborn, "a.c")
+        assert tier == TIER_DISK
+        assert reborn.parses == 0
+
+    def test_layout_only_edit_token_short_circuits(self, tmp_path):
+        state = make_state(tmp_path)
+        first, _tier = parse_unit(state, "a.c")
+        state.invalidate("include/shared.h",
+                         text="#define SHARED 1  /* new comment */\n")
+        record, tier = parse_unit(state, "a.c")
+        assert tier == TIER_TOKEN
+        assert state.parses == 1
+        assert record["status"] == first["status"]
+        # The re-published key now answers from memory directly.
+        _record, tier = parse_unit(state, "a.c")
+        assert tier == TIER_MEMORY
+
+    def test_semantic_edit_reparses(self, tmp_path):
+        state = make_state(tmp_path)
+        parse_unit(state, "a.c")
+        state.invalidate("include/shared.h",
+                         text="#define SHARED 42\n")
+        _record, tier = parse_unit(state, "a.c")
+        assert tier is None
+        assert state.parses == 2
+
+    def test_invalidate_drops_exactly_the_dependents(self, tmp_path):
+        state = make_state(tmp_path)
+        for unit in UNITS:
+            parse_unit(state, unit)
+        assert state.parses == 3
+        dropped = state.invalidate("include/shared.h",
+                                   text="#define SHARED 9\n")
+        assert dropped == ["a.c", "b.c"]
+        # c.c never left the memory tier; a.c and b.c re-parse.
+        _record, tier = parse_unit(state, "c.c")
+        assert tier == TIER_MEMORY
+        for unit in ("a.c", "b.c"):
+            _record, tier = parse_unit(state, unit)
+            assert tier is None, unit
+        assert state.parses == 5
+
+    def test_second_level_header_only_hits_its_chain(self, tmp_path):
+        state = make_state(tmp_path)
+        for unit in UNITS:
+            parse_unit(state, unit)
+        dropped = state.invalidate("include/only_a.h",
+                                   text="#define ONLY_A 7\n")
+        assert dropped == ["a.c"]
+
+    def test_serve_warms_the_batch_engine(self, tmp_path):
+        """Daemon and superc-batch share one on-disk result cache."""
+        state = make_state(tmp_path)
+        for unit in UNITS:
+            parse_unit(state, unit)
+        job = CorpusJob(list(UNITS), include_paths=list(INCLUDE_PATHS),
+                        files=dict(FILES))
+        config = EngineConfig(cache_dir=str(tmp_path / "cache"))
+        report = BatchEngine(config).run(job)
+        assert report.cache_hits == len(UNITS)
+
+    def test_batch_warms_the_server(self, tmp_path):
+        job = CorpusJob(list(UNITS), include_paths=list(INCLUDE_PATHS),
+                        files=dict(FILES))
+        config = EngineConfig(cache_dir=str(tmp_path / "cache"))
+        BatchEngine(config).run(job)
+        state = make_state(tmp_path)
+        for unit in UNITS:
+            _record, tier = parse_unit(state, unit)
+            assert tier == TIER_DISK, unit
+        assert state.parses == 0
+
+    def test_unknown_optimization_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_state(tmp_path, optimization="nope")
+
+    def test_stats_shape(self, tmp_path):
+        state = make_state(tmp_path)
+        parse_unit(state, "a.c")
+        stats = state.stats()
+        assert stats["units_warm"] == 1
+        assert stats["parses"] == 1
+        assert stats["result_cache"]["misses"] >= 1
+        json.dumps(stats)  # JSON-serializable
+
+
+class TestParseService:
+    def service(self, tmp_path):
+        return ParseService(make_state(tmp_path))
+
+    def test_parse_response_is_a_result_record(self, tmp_path):
+        service = self.service(tmp_path)
+        response = service.handle({"id": 7, "op": "parse",
+                                   "path": "a.c"})
+        assert response["id"] == 7
+        assert response["status"] == "ok"
+        assert response["cache"] == "miss"
+        for key in ("timing", "diagnostics", "profile", "unit"):
+            assert key in response
+        from repro.engine import UnitResult
+        assert is_result(UnitResult(response))
+
+    def test_second_parse_hits(self, tmp_path):
+        service = self.service(tmp_path)
+        service.handle({"op": "parse", "path": "a.c"})
+        response = service.handle({"op": "parse", "path": "a.c"})
+        assert response["cache"] == "hit"
+        assert response["tier"] == TIER_MEMORY
+        assert service.hits == 1
+
+    def test_fresh_bypasses_the_caches(self, tmp_path):
+        service = self.service(tmp_path)
+        service.handle({"op": "parse", "path": "a.c"})
+        response = service.handle({"op": "parse", "path": "a.c",
+                                   "fresh": True})
+        assert response["cache"] == "miss"
+
+    def test_parse_text_buffer(self, tmp_path):
+        service = self.service(tmp_path)
+        response = service.handle({"op": "parse", "text": "int x;",
+                                   "filename": "<buffer>"})
+        assert response["status"] == "ok"
+        assert response["unit"] == "<buffer>"
+
+    def test_bad_requests_are_confined(self, tmp_path):
+        service = self.service(tmp_path)
+        assert service.handle({"op": "nope"})["status"] == "error"
+        assert service.handle({"op": "parse"})["status"] == "error"
+        assert service.handle({"op": "parse", "path": "gone.c"
+                               })["status"] == "error"
+        assert service.handle({"op": "invalidate"})["status"] == "error"
+
+    def test_invalidate_reports_dropped_units(self, tmp_path):
+        service = self.service(tmp_path)
+        for unit in UNITS:
+            service.handle({"op": "parse", "path": unit})
+        response = service.handle({"op": "invalidate",
+                                   "path": "include/shared.h",
+                                   "text": "#define SHARED 5\n"})
+        assert response["status"] == "ok"
+        assert response["invalidated"] == ["a.c", "b.c"]
+        assert response["count"] == 2
+
+    def test_stats_op(self, tmp_path):
+        service = self.service(tmp_path)
+        service.handle({"op": "parse", "path": "a.c"})
+        response = service.handle({"op": "stats"})
+        assert response["status"] == "ok"
+        assert response["stats"]["requests"] == 2
+
+    def test_tracer_counters(self, tmp_path):
+        from repro.obs import Tracer
+        tracer = Tracer()
+        service = ParseService(make_state(tmp_path), tracer=tracer)
+        service.handle({"op": "parse", "path": "a.c"})
+        service.handle({"op": "parse", "path": "a.c"})
+        assert tracer.counters["serve.requests"] == 2
+        assert tracer.counters["serve.cache.miss"] == 1
+        assert tracer.counters["serve.cache.hit"] == 1
+        roots = [span.name for span in tracer.roots]
+        assert roots == ["serve.request", "serve.request"]
+
+
+@pytest.fixture
+def running_server(tmp_path):
+    """A ParseServer on a real Unix socket, torn down after the test."""
+    sock = str(tmp_path / "serve.sock")
+    server = ParseServer(
+        config=Config(files=dict(FILES), include_paths=INCLUDE_PATHS),
+        socket_path=sock, max_queue=2,
+        cache_dir=str(tmp_path / "cache")).start()
+    try:
+        yield server, sock
+    finally:
+        server.close()
+
+
+class TestParseServerEndToEnd:
+    def test_parse_hit_invalidate_shutdown(self, running_server):
+        server, sock = running_server
+        with ServeClient(socket_path=sock) as client:
+            assert client.ping()["status"] == "ok"
+            first = client.parse("a.c")
+            assert first.ok and first.record["cache"] == "miss"
+            assert is_result(first)
+            second = client.parse("a.c")
+            assert second.record["cache"] == "hit"
+            response = client.invalidate("include/shared.h",
+                                         text="#define SHARED 4\n")
+            assert response["invalidated"] == ["a.c"]
+            third = client.parse("a.c")
+            assert third.record["cache"] == "miss"
+            stats = client.stats()
+            assert stats["cache_hits"] == 1
+            assert stats["requests"] >= 4
+            result = client.shutdown()
+            assert result["status"] == "ok"
+            assert result["drained"] >= 4
+        assert server.wait(10.0)
+
+    def test_burst_sheds_beyond_queue_depth(self, running_server):
+        server, sock = running_server
+        with ServeClient(socket_path=sock) as client:
+            client.parse("a.c")  # warm tables before timing matters
+            ids = [client.submit("parse", path="a.c", delay=0.4,
+                                 fresh=True)]
+            ids += [client.submit("parse", path="a.c", fresh=True)
+                    for _ in range(6)]
+            responses = client.drain(ids)
+        statuses = [response["status"] for response in responses]
+        assert statuses.count(STATUS_SHED) >= 1
+        assert all(status in ("ok", "degraded", STATUS_SHED)
+                   for status in statuses)
+        shed = [response for response in responses
+                if response["status"] == STATUS_SHED]
+        assert all("queue depth" in response["error"]
+                   for response in shed)
+        assert server.queue.shed >= 1
+
+    def test_queue_expired_deadline_times_out(self, running_server):
+        server, sock = running_server
+        with ServeClient(socket_path=sock) as client:
+            slow = client.submit("parse", path="a.c", delay=0.4)
+            doomed = client.submit("parse", path="b.c", deadline=0.05)
+            responses = client.drain([slow, doomed])
+        assert responses[0]["status"] in ("ok", "degraded")
+        assert responses[1]["status"] == "timeout"
+        assert "deadline" in responses[1]["error"]
+
+    def test_shutdown_drains_pipelined_requests(self, tmp_path):
+        sock = str(tmp_path / "drain.sock")
+        server = ParseServer(
+            config=Config(files=dict(FILES),
+                          include_paths=INCLUDE_PATHS),
+            socket_path=sock, max_queue=16,
+            cache_dir=str(tmp_path / "cache")).start()
+        try:
+            with ServeClient(socket_path=sock) as client:
+                ids = [client.submit("parse", path=unit)
+                       for unit in UNITS]
+                shutdown_id = client.submit("shutdown")
+                responses = client.drain(ids + [shutdown_id])
+            for response in responses[:-1]:
+                assert response["status"] in ("ok", "degraded")
+            assert responses[-1]["status"] == "ok"
+            assert responses[-1]["drained"] == len(UNITS)
+            assert server.wait(10.0)
+        finally:
+            server.close()
+
+    def test_requests_after_shutdown_are_shed(self, running_server):
+        server, sock = running_server
+        with ServeClient(socket_path=sock) as client:
+            slow = client.submit("parse", path="a.c", delay=0.3)
+            shutdown_id = client.submit("shutdown")
+            late = client.submit("parse", path="b.c")
+            late_response = client.wait_for(late)
+            assert late_response["status"] == STATUS_SHED
+            assert late_response["error"] == "draining"
+            assert client.wait_for(slow)["status"] in ("ok", "degraded")
+            assert client.wait_for(shutdown_id)["status"] == "ok"
+
+    def test_tcp_transport(self, tmp_path):
+        server = ParseServer(
+            config=Config(files=dict(FILES),
+                          include_paths=INCLUDE_PATHS),
+            port=0, cache_dir=str(tmp_path / "cache")).start()
+        try:
+            host, port = server.address
+            with ServeClient(host=host, port=port) as client:
+                assert client.parse("c.c").ok
+                assert client.shutdown()["status"] == "ok"
+            assert server.wait(10.0)
+        finally:
+            server.close()
+
+    def test_connect_failure_raises_serve_error(self, tmp_path):
+        client = ServeClient(socket_path=str(tmp_path / "nope.sock"))
+        with pytest.raises(ServeError):
+            client.connect()
+
+
+class TestServeCli:
+    def test_usage_error_without_endpoint(self, capsys):
+        from repro.tools.serve_cli import main
+        assert main([]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_client_mode_connect_failure(self, tmp_path, capsys):
+        from repro.tools.serve_cli import main
+        code = main(["--socket", str(tmp_path / "nope.sock"),
+                     "--stats"])
+        assert code == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_client_against_running_server(self, tmp_path, capsys):
+        sock = str(tmp_path / "cli.sock")
+        server = ParseServer(
+            config=Config(files=dict(FILES),
+                          include_paths=INCLUDE_PATHS),
+            socket_path=sock,
+            cache_dir=str(tmp_path / "cache")).start()
+        try:
+            from repro.tools.serve_cli import main
+            code = main(["--socket", sock, "--parse", "a.c",
+                         "--parse", "a.c", "--json", "--shutdown"])
+            out = capsys.readouterr().out
+            assert code == 0
+            lines = [json.loads(line) for line in out.splitlines()
+                     if line.startswith("{")]
+            parses = [line for line in lines if line.get("op") == "parse"]
+            assert [p["cache"] for p in parses] == ["miss", "hit"]
+            assert server.wait(10.0)
+        finally:
+            server.close()
+
+
+class TestServeTraceExport:
+    def test_lane_per_request_chrome_trace(self, tmp_path):
+        from repro.obs import Tracer, to_chrome_trace, \
+            validate_chrome_trace
+        tracer = Tracer()
+        service = ParseService(make_state(tmp_path), tracer=tracer)
+        service.handle({"op": "parse", "path": "a.c"})
+        service.handle({"op": "parse", "path": "b.c"})
+        trace = to_chrome_trace(tracer, lane_per_root=True)
+        assert validate_chrome_trace(trace) == []
+        lanes = {event["tid"] for event in trace["traceEvents"]
+                 if event.get("ph") == "X"
+                 and event["name"] == "serve.request"}
+        assert len(lanes) == 2
+        names = [event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event.get("name") == "thread_name"]
+        assert any("a.c" in name for name in names)
+        assert any("b.c" in name for name in names)
