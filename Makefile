@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test smoke-batch fuzz-smoke robustness-smoke trace-smoke \
-	serve-smoke bench clean-cache
+	serve-smoke chaos-smoke bench clean-cache
 
 # Tier 1: the full unit-test suite (must stay green).
 test:
@@ -59,6 +59,16 @@ trace-smoke:
 # violated expectation.
 serve-smoke:
 	$(PY) -m repro.tools.serve_cli --smoke examples/mousedev.c \
+	    -I examples/include
+
+# Tier 2: fault-tolerance smoke — run a pooled (2-worker) server under
+# the deterministic repro.chaos fault plan: worker crash on request,
+# hang past the deadline, corrupt cache blob, dropped client socket,
+# and ENOSPC on cache put, then hard-kill the daemon and require the
+# restarted one to resume warm-state short-circuiting from the journal.
+# Exits nonzero on the first violated expectation.
+chaos-smoke:
+	$(PY) -m repro.tools.serve_cli --chaos-smoke examples/mousedev.c \
 	    -I examples/include
 
 # Full benchmark suite (Tables 2-3, Figures 8-10, scaling + speedup).

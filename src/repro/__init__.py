@@ -32,8 +32,11 @@ Package map: :mod:`repro.bdd` (presence conditions),
 preprocessing), :mod:`repro.parser` (LALR + FMLR engines),
 :mod:`repro.cgrammar` (the C grammar and typedef context),
 :mod:`repro.baselines` (MAPR / TypeChef-proxy / gcc-like),
-:mod:`repro.corpus` (the synthetic kernel), and :mod:`repro.eval`
-(the paper's tables and figures).
+:mod:`repro.corpus` (the synthetic kernel), :mod:`repro.eval`
+(the paper's tables and figures), :mod:`repro.engine` (corpus-scale
+batch runs), :mod:`repro.serve` (the warm parse daemon and its
+supervised worker pool), and :mod:`repro.chaos` (deterministic fault
+injection behind the ``chaos-smoke`` check).
 """
 
 from repro.api import Config, Session, is_result, parse

@@ -36,12 +36,13 @@ from repro.engine.results import (RETRYABLE_STATUSES, STATUS_CRASHED,
                                   error_record, format_report,
                                   percentile, record_from_result)
 from repro.engine.scheduler import (DEFAULT_OPTIMIZATION, BatchEngine,
-                                    CorpusJob, DeadlineExceeded,
-                                    EngineConfig, attempt_deadline)
+                                    CorpusJob, CrashLoopBreaker,
+                                    DeadlineExceeded, EngineConfig,
+                                    attempt_deadline)
 
 __all__ = [
-    "BatchEngine", "CorpusJob", "CorpusReport", "DEFAULT_OPTIMIZATION",
-    "DeadlineExceeded",
+    "BatchEngine", "CorpusJob", "CorpusReport", "CrashLoopBreaker",
+    "DEFAULT_OPTIMIZATION", "DeadlineExceeded",
     "EngineConfig", "MetricsStream", "RESULT_CACHE_VERSION",
     "RETRYABLE_STATUSES", "ResultCache", "STATUS_CRASHED",
     "STATUS_DEGRADED", "STATUS_DISAGREE",

@@ -26,8 +26,10 @@ import os
 import re
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
+from repro import chaos
 from repro.cgrammar import c_tables, c_tables_cache_path, cache_root
 from repro.cpp import FileSystem, IncludeResolver
+from repro.obs.tracer import NULL_TRACER
 from repro.parser.lalr import to_blob
 
 # Bump to invalidate every cached result record (schema or semantics
@@ -124,13 +126,23 @@ def include_closure_digest(fs: FileSystem, unit: str,
 
 
 class ResultCache:
-    """On-disk per-unit result records, one JSON file per key."""
+    """On-disk per-unit result records, one JSON file per key.
 
-    def __init__(self, cache_dir: Optional[str], fingerprint: str):
+    Every read is fault-confined: a truncated, corrupt, or
+    wrong-shaped record — a crashed writer, a full disk, manual
+    tampering — is treated as a miss, the bad blob is deleted so it
+    cannot poison later runs, and ``engine.result_cache.corrupt``
+    counts the event.  A cache must never raise into a parse.
+    """
+
+    def __init__(self, cache_dir: Optional[str], fingerprint: str,
+                 tracer: object = None):
         root = cache_dir or cache_root()
         self.directory = os.path.join(root, "results", fingerprint)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def key_for(self, unit: str, source_text: str,
                 closure_digest: str) -> str:
@@ -144,14 +156,30 @@ class ResultCache:
         return os.path.join(self.directory, f"{key}.json")
 
     def get(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        if chaos.ACTIVE is not None:
+            chaos.fire("cache.get", path=path)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
             self.misses += 1
             return None
+        try:
+            record = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            record = None
         if not isinstance(record, dict):
+            # Truncated write, bit rot, or a non-record blob: miss,
+            # and delete the evidence so it cannot poison later runs.
+            self.corrupt += 1
             self.misses += 1
+            if self.tracer.enabled:
+                self.tracer.count("engine.result_cache.corrupt")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return record
@@ -170,6 +198,8 @@ class ResultCache:
         """
         tmp = self._path(key) + f".tmp.{os.getpid()}"
         try:
+            if chaos.ACTIVE is not None:
+                chaos.fire("cache.put", path=self._path(key))
             os.makedirs(self.directory, exist_ok=True)
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)

@@ -95,6 +95,56 @@ class EngineConfig:
         self.fault_hook = fault_hook
 
 
+class CrashLoopBreaker:
+    """Consecutive-failure circuit breaker.
+
+    Shared fault-tolerance machinery: the batch scheduler opens one per
+    unit (a unit that crashes or times out on ``threshold`` consecutive
+    attempts is abandoned as ``STATUS_CRASHED``), and the serve worker
+    pool opens one over worker deaths (``threshold`` consecutive dead
+    workers degrade the daemon to inline parsing instead of forking a
+    crash loop).  ``threshold=0`` disables the breaker entirely.
+    """
+
+    __slots__ = ("threshold", "consecutive", "tripped", "trips")
+
+    def __init__(self, threshold: int):
+        self.threshold = max(0, threshold)
+        self.consecutive = 0
+        self.tripped = False
+        self.trips = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def failure(self) -> bool:
+        """Record one failure; True exactly when this one trips the
+        breaker (so callers can count ``*.breaker.trip`` once)."""
+        self.consecutive += 1
+        if self.enabled and not self.tripped \
+                and self.consecutive >= self.threshold:
+            self.tripped = True
+            self.trips += 1
+            return True
+        return False
+
+    def success(self) -> None:
+        """A success resets the streak (but not a tripped breaker —
+        closing again is an explicit :meth:`reset`)."""
+        self.consecutive = 0
+
+    def reset(self) -> None:
+        """Close the breaker (the pool's cooldown probe)."""
+        self.consecutive = 0
+        self.tripped = False
+
+    def __repr__(self) -> str:
+        return (f"CrashLoopBreaker(threshold={self.threshold}, "
+                f"consecutive={self.consecutive}, "
+                f"tripped={self.tripped})")
+
+
 class CorpusJob:
     """What to parse: a file set, its units, and preprocessor config."""
 
@@ -328,6 +378,7 @@ class BatchEngine:
         final: Dict[str, dict] = {}
         pending: List[str] = []
         cache_keys: Dict[str, str] = {}
+        breakers: Dict[str, CrashLoopBreaker] = {}
         fs = job.filesystem()
         with tracer.span("cache-probe", units=len(job.units)):
             for unit in job.units:
@@ -369,13 +420,19 @@ class BatchEngine:
             if threshold:
                 for unit in pending:
                     record = final[unit]
-                    if record["status"] in RETRYABLE_STATUSES \
-                            and record["attempt"] >= threshold:
+                    if record["status"] not in RETRYABLE_STATUSES:
+                        continue
+                    breaker = breakers.get(unit)
+                    if breaker is None:
+                        breaker = breakers[unit] = \
+                            CrashLoopBreaker(threshold)
+                    breaker.failure()
+                    if breaker.tripped:
                         tripped = dict(record)
                         tripped["status"] = STATUS_CRASHED
                         tripped["error"] = (
                             f"{record.get('error') or 'failed'} "
-                            f"(circuit breaker: {record['attempt']} "
+                            f"(circuit breaker: {breaker.consecutive} "
                             f"consecutive crash/deadline attempts)")
                         final[unit] = tripped
                         metrics.unit(tripped)

@@ -20,6 +20,14 @@ instead of special evaluation passes:
   or Perfetto), a plain-text flamegraph, and the trace validator used
   by the ``trace-smoke`` Make target.
 
+Fault-tolerance events ride the same counters registry: the serve
+worker pool counts ``serve.worker.{spawn,crash,restart,recycle}`` and
+``serve.breaker.trip``, warm-state journal replay counts
+``serve.journal.{resume,discard}``, and the result cache counts
+quarantined blobs under ``engine.result_cache.corrupt`` — so a
+daemon's ``stats`` op and its Chrome trace tell the same recovery
+story (exercised by the ``chaos-smoke`` Make target).
+
 Typical use::
 
     from repro.obs import Tracer, to_chrome_trace

@@ -21,9 +21,18 @@ sub-second repeat latency, built for interactive variability tooling:
 * :class:`ParseServer` / :class:`ParseService` (``server.py``) — the
   newline-delimited JSON protocol (``parse`` / ``invalidate`` /
   ``stats`` / ``shutdown``) over Unix-domain or TCP sockets;
+* :class:`WorkerPool` (``pool.py``) — a supervised pre-forked worker
+  pool: each parse runs in a child process under supervisor-enforced
+  deadlines (no SIGALRM), crashed workers restart under seeded
+  backoff, and a crash-loop breaker degrades the daemon to inline
+  parsing instead of letting it die;
+* :class:`ParseJournal` (``journal.py``) — crash-surviving warm-state
+  metadata beside the result cache, so a restarted daemon resumes
+  disk/token-tier short-circuiting immediately;
 * :class:`ServeClient` (``client.py``) — the client library behind
   the ``superc-serve`` CLI; served parses satisfy the same structural
-  Result protocol as local ones.
+  Result protocol as local ones, and transport failures retry under
+  bounded seeded backoff before answering ``status="unavailable"``.
 
 Typical use::
 
@@ -39,10 +48,13 @@ Typical use::
 """
 
 from repro.serve.admission import AdmissionQueue, Deadline, QueueClosed
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import (STATUS_UNAVAILABLE, ServeClient,
+                                ServeError)
 from repro.serve.incremental import (InvalidationIndex,
                                      file_token_digest,
                                      token_fingerprint)
+from repro.serve.journal import ParseJournal
+from repro.serve.pool import PoolConfig, Worker, WorkerPool
 from repro.serve.server import (OPS, PROTOCOL_VERSION, STATUS_SHED,
                                 ParseServer, ParseService)
 from repro.serve.state import (TIER_DISK, TIER_MEMORY, TIER_TOKEN,
@@ -50,8 +62,9 @@ from repro.serve.state import (TIER_DISK, TIER_MEMORY, TIER_TOKEN,
 
 __all__ = [
     "AdmissionQueue", "Deadline", "FileStore", "InvalidationIndex",
-    "OPS", "PROTOCOL_VERSION", "ParseEntry", "ParseServer",
-    "ParseService", "QueueClosed", "STATUS_SHED", "ServeClient",
-    "ServeError", "ServerState", "TIER_DISK", "TIER_MEMORY",
-    "TIER_TOKEN", "file_token_digest", "token_fingerprint",
+    "OPS", "PROTOCOL_VERSION", "ParseEntry", "ParseJournal",
+    "ParseServer", "ParseService", "PoolConfig", "QueueClosed",
+    "STATUS_SHED", "STATUS_UNAVAILABLE", "ServeClient", "ServeError",
+    "ServerState", "TIER_DISK", "TIER_MEMORY", "TIER_TOKEN", "Worker",
+    "WorkerPool", "file_token_digest", "token_fingerprint",
 ]

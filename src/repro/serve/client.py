@@ -12,21 +12,47 @@ testing, editors batching a save-storm) and match responses by ``id``.
 structural Result protocol (``status/ok/degraded/diagnostics/timing/
 profile``) as a local ``repro.parse`` call — callers can switch
 between in-process and daemon parsing without changing a line.
+
+**Fault tolerance.**  A daemon restarting under supervision refuses
+connections (``ECONNREFUSED``) or tears existing ones
+(``ECONNRESET``/EOF) for a moment; :meth:`request` absorbs that by
+reconnecting and resending under bounded, deterministic seeded-jitter
+exponential backoff.  When the retry budget is spent it returns a
+*structured* ``{"status": "unavailable", ...}`` response instead of
+raising a raw socket error, so callers (and the CLI) handle a down
+daemon the same way they handle a shed or timed-out request.  The
+low-level methods (:meth:`connect`, :meth:`submit`, :meth:`wait_for`)
+stay single-attempt and raise :class:`ServeError`.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.results import UnitResult
 
 DEFAULT_TIMEOUT = 60.0
 
+# Client-side response status: the daemon could not be reached within
+# the retry budget; no work was done (alongside the server's shed).
+STATUS_UNAVAILABLE = "unavailable"
+
 
 class ServeError(ConnectionError):
-    """The server connection failed or answered garbage."""
+    """The server connection failed or answered garbage.
+
+    ``retryable`` marks transport-level failures a reconnect can heal
+    (refused/reset connections, EOF mid-response); protocol-level
+    garbage (an unparseable response line) is not retryable.
+    """
+
+    def __init__(self, message: str, retryable: bool = False):
+        super().__init__(message)
+        self.retryable = retryable
 
 
 class ServeClient:
@@ -35,13 +61,27 @@ class ServeClient:
     def __init__(self, socket_path: Optional[str] = None,
                  host: Optional[str] = None,
                  port: Optional[int] = None,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = 4,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 backoff_max: float = 1.0,
+                 backoff_jitter: float = 0.5,
+                 backoff_seed: int = 0):
         if socket_path is None and port is None:
             raise ValueError("need socket_path or host/port")
         self.socket_path = socket_path
         self.host = host or "127.0.0.1"
         self.port = port
         self.timeout = timeout
+        # request() absorbs this many reconnect-and-resend attempts
+        # after the first failure before answering "unavailable".
+        self.retries = max(0, retries)
+        self.backoff_base = max(0.0, backoff_base)
+        self.backoff_factor = max(1.0, backoff_factor)
+        self.backoff_max = max(0.0, backoff_max)
+        self.backoff_jitter = max(0.0, backoff_jitter)
+        self.backoff_seed = backoff_seed
         self._sock: Optional[socket.socket] = None
         self._recv_buffer = b""
         self._next_id = 0
@@ -62,8 +102,8 @@ class ServeClient:
                 sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout)
         except OSError as exc:
-            raise ServeError(f"cannot connect to parse server: {exc}") \
-                from exc
+            raise ServeError(f"cannot connect to parse server: {exc}",
+                             retryable=True) from exc
         self._sock = sock
         return self
 
@@ -74,6 +114,13 @@ class ServeClient:
             except OSError:
                 pass
             self._sock = None
+
+    def _reset_connection(self) -> None:
+        """Drop the connection and all half-read state so the next
+        attempt starts from a clean socket."""
+        self.close()
+        self._recv_buffer = b""
+        self._pending.clear()
 
     def __enter__(self) -> "ServeClient":
         return self.connect()
@@ -94,7 +141,8 @@ class ServeClient:
         try:
             self._sock.sendall(payload)
         except OSError as exc:
-            raise ServeError(f"send failed: {exc}") from exc
+            raise ServeError(f"send failed: {exc}",
+                             retryable=True) from exc
         return self._next_id
 
     def _read_response(self) -> dict:
@@ -102,9 +150,11 @@ class ServeClient:
             try:
                 chunk = self._sock.recv(65536)
             except OSError as exc:
-                raise ServeError(f"receive failed: {exc}") from exc
+                raise ServeError(f"receive failed: {exc}",
+                                 retryable=True) from exc
             if not chunk:
-                raise ServeError("server closed the connection")
+                raise ServeError("server closed the connection",
+                                 retryable=True)
             self._recv_buffer += chunk
         line, _sep, self._recv_buffer = \
             self._recv_buffer.partition(b"\n")
@@ -124,9 +174,43 @@ class ServeClient:
                 return response
             self._pending[response.get("id")] = response
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Deterministic seeded-jitter delay before retry ``attempt``
+        (1-based) — the engine's retry-pacing formula."""
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = min(self.backoff_max,
+                    self.backoff_base
+                    * self.backoff_factor ** max(0, attempt - 1))
+        rng = random.Random(f"{self.backoff_seed}:{attempt}")
+        return delay * (1.0 + self.backoff_jitter * rng.random())
+
     def request(self, op: str, **fields: Any) -> dict:
-        """Send one request and block for its response."""
-        return self.wait_for(self.submit(op, **fields))
+        """Send one request and block for its response.
+
+        Transport failures (daemon restarting: refused, reset, EOF)
+        are retried with bounded seeded-jitter backoff; a spent budget
+        answers ``status="unavailable"`` instead of raising.  Every op
+        in the protocol is idempotent, so a resend after a torn
+        connection is safe."""
+        attempts = 0
+        last: Optional[ServeError] = None
+        while attempts <= self.retries:
+            attempts += 1
+            try:
+                return self.wait_for(self.submit(op, **fields))
+            except ServeError as exc:
+                if not exc.retryable:
+                    raise
+                last = exc
+                self._reset_connection()
+                if attempts <= self.retries:
+                    delay = self._backoff_delay(attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+        return {"id": None, "op": op, "status": STATUS_UNAVAILABLE,
+                "attempts": attempts,
+                "error": f"{last} (after {attempts} attempts)"}
 
     def drain(self, request_ids: List[int]) -> List[dict]:
         """Collect responses for a pipelined burst, in request order."""

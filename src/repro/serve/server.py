@@ -58,12 +58,14 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import chaos
 from repro.api import Config
 from repro.engine import DEFAULT_OPTIMIZATION, DeadlineExceeded, \
     attempt_deadline
 from repro.engine.results import STATUS_ERROR, STATUS_TIMEOUT
 from repro.obs.tracer import NULL_TRACER
 from repro.serve.admission import AdmissionQueue, Deadline, QueueClosed
+from repro.serve.pool import PoolConfig, WorkerPool
 from repro.serve.state import ServerState
 
 # Serve-specific response status (alongside the engine's ok/degraded/
@@ -87,6 +89,7 @@ class ParseService:
     def __init__(self, state: ServerState, tracer: Any = None):
         self.state = state
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.pool: Optional[WorkerPool] = None
         self.requests = 0
         self.hits = 0
         self.misses = 0
@@ -94,7 +97,8 @@ class ParseService:
 
     # -- dispatch ------------------------------------------------------
 
-    def handle(self, request: dict) -> dict:
+    def handle(self, request: dict,
+               deadline: Optional[Deadline] = None) -> dict:
         op = request.get("op")
         self.requests += 1
         if self.tracer.enabled:
@@ -104,6 +108,10 @@ class ParseService:
             return self._reply(request, status=STATUS_ERROR,
                                error=f"unknown op {op!r}")
         try:
+            if op == "parse":
+                # The one op with a deadline: under a worker pool the
+                # supervisor enforces it against the child process.
+                return self._op_parse(request, deadline=deadline)
             return handler(request)
         except DeadlineExceeded:
             raise
@@ -123,7 +131,8 @@ class ParseService:
         return self._reply(request, status="ok",
                            protocol=PROTOCOL_VERSION)
 
-    def _op_parse(self, request: dict) -> dict:
+    def _op_parse(self, request: dict,
+                  deadline: Optional[Deadline] = None) -> dict:
         state = self.state
         path = request.get("path")
         text = request.get("text")
@@ -160,7 +169,8 @@ class ParseService:
                 self.misses += 1
                 if self.tracer.enabled:
                     self.tracer.count("serve.cache.miss")
-                record = dict(state.parse(unit, text, key, members))
+                record = dict(state.parse(unit, text, key, members,
+                                          deadline=deadline))
                 record["cache"] = "miss"
                 tier = None
         return self._reply(request, tier=tier, **record)
@@ -187,6 +197,8 @@ class ParseService:
             "cache_misses": self.misses,
         }
         stats.update(self.state.stats())
+        stats["pool"] = (None if self.pool is None
+                         else self.pool.stats())
         return self._reply(request, status="ok", stats=stats)
 
     def _op_shutdown(self, request: dict) -> dict:
@@ -226,6 +238,10 @@ class _Connection:
             if self.closed:
                 return
             try:
+                if chaos.ACTIVE is not None:
+                    # "drop-conn" closes the socket under us here —
+                    # the client sees a torn connection mid-response.
+                    chaos.fire("conn.send", sock=self.sock)
                 self.sock.sendall(payload)
             except OSError:
                 self.closed = True
@@ -271,6 +287,8 @@ class ParseServer:
                  port: Optional[int] = None,
                  max_queue: int = 64,
                  deadline_seconds: float = 0.0,
+                 workers: int = 0,
+                 pool_config: Optional[PoolConfig] = None,
                  tracer: Any = None,
                  config: Optional[Config] = None,
                  optimization: str = DEFAULT_OPTIMIZATION,
@@ -281,12 +299,21 @@ class ParseServer:
             state = ServerState(config, optimization=optimization,
                                 cache_dir=cache_dir,
                                 use_result_cache=use_result_cache,
+                                tracer=tracer,
                                 **config_overrides)
         self.state = state
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.service = ParseService(state, tracer=self.tracer)
         self.queue = AdmissionQueue(max_queue, tracer=self.tracer)
         self.deadline_seconds = max(0.0, deadline_seconds)
+        # workers > 0 enables the supervised pre-forked pool: parses
+        # run in child processes, supervisor-enforced deadlines replace
+        # SIGALRM, and `workers` dispatcher threads serve concurrently.
+        if pool_config is None and workers > 0:
+            pool_config = PoolConfig(size=workers)
+        self.pool_config = pool_config if workers > 0 else None
+        self.pool: Optional[WorkerPool] = None
+        self._dispatcher_count = max(1, workers)
         self.socket_path = socket_path
         self._requested_host = host
         self._requested_port = port
@@ -294,8 +321,14 @@ class ParseServer:
         self._listener: Optional[socket.socket] = None
         self._acceptor: Optional[threading.Thread] = None
         self._worker: Optional[threading.Thread] = None
+        self._extra_dispatchers: List[threading.Thread] = []
         self._connections: List[_Connection] = []
         self._connections_lock = threading.Lock()
+        # In-flight request count: the drain barrier that lets the
+        # shutdown sentinel wait for every other dispatcher to go idle
+        # before it answers and closes.
+        self._active = 0
+        self._active_cond = threading.Condition()
         self._stopped = threading.Event()
         self.drained = 0
 
@@ -324,8 +357,19 @@ class ParseServer:
         listener.listen(16)
         self._listener = listener
 
+    def _start_pool(self) -> None:
+        """Fork the worker pool (before ``bind``, so workers never
+        inherit the listener) and route parses through it."""
+        if self.pool_config is None or self.pool is not None:
+            return
+        self.pool = WorkerPool(self.state, self.pool_config,
+                               tracer=self.tracer).start()
+        self.state.executor = self.pool.execute
+        self.service.pool = self.pool
+
     def start(self) -> "ParseServer":
-        """Bind and run acceptor + worker as background threads."""
+        """Bind and run acceptor + dispatchers as background threads."""
+        self._start_pool()
         self.bind()
         self._acceptor = threading.Thread(target=self._accept_loop,
                                           name="serve-acceptor",
@@ -341,6 +385,7 @@ class ParseServer:
         """Bind, accept in the background, and parse on *this* thread
         until a ``shutdown`` request drains the queue.  Returns the
         number of requests served during the drain."""
+        self._start_pool()
         self.bind()
         self._acceptor = threading.Thread(target=self._accept_loop,
                                           name="serve-acceptor",
@@ -354,8 +399,9 @@ class ParseServer:
         return self._stopped.wait(timeout)
 
     def close(self) -> None:
-        """Hard stop: close the listener and every connection.  Prefer
-        a ``shutdown`` request for a graceful drain."""
+        """Hard stop: close the listener, every connection, and the
+        worker pool.  Prefer a ``shutdown`` request for a graceful
+        drain."""
         self.queue.begin_drain()
         if self._listener is not None:
             try:
@@ -371,6 +417,9 @@ class ParseServer:
                 os.unlink(self.socket_path)
             except OSError:
                 pass
+        if self.pool is not None:
+            self.pool.close()
+            self.state.executor = None
         self._stopped.set()
 
     # -- acceptor side (daemon threads; admission only) ----------------
@@ -428,23 +477,55 @@ class ParseServer:
             connection.send({"id": request.get("id"), "op": op,
                              "status": STATUS_SHED, "error": reason})
 
-    # -- worker side (the parsing thread) ------------------------------
+    # -- worker side (the parsing threads) -----------------------------
 
     def _work_loop(self) -> None:
+        """Run ``_dispatcher_count`` dispatch loops: one on this
+        thread, the rest on daemon threads.  With a worker pool the
+        extra dispatchers give the daemon true request concurrency —
+        each blocks in the supervisor's ``select``, not on a parse."""
+        self._extra_dispatchers = []
+        for index in range(self._dispatcher_count - 1):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"serve-dispatch-{index + 1}", daemon=True)
+            thread.start()
+            self._extra_dispatchers.append(thread)
         try:
-            while True:
-                try:
-                    queued = self.queue.pop(timeout=0.5)
-                except QueueClosed:
-                    return
-                if queued is None:
-                    continue
-                if queued.shutdown:
-                    self._finish_drain(queued)
-                    return
-                self._serve_one(queued)
+            self._dispatch_loop()
         finally:
             self.close()
+            for thread in self._extra_dispatchers:
+                thread.join(timeout=2.0)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                queued = self.queue.pop(timeout=0.5)
+            except QueueClosed:
+                return
+            if queued is None:
+                continue
+            if queued.shutdown:
+                # Drain barrier: everything admitted before shutdown
+                # has been *popped* (FIFO), but siblings may still be
+                # serving theirs — answer the shutdown only when every
+                # other dispatcher is idle.
+                with self._active_cond:
+                    while self._active > 0:
+                        self._active_cond.wait(timeout=0.5)
+                self._finish_drain(queued)
+                self.close()
+                return
+            with self._active_cond:
+                self._active += 1
+            try:
+                self._serve_one(queued)
+            finally:
+                with self._active_cond:
+                    self._active -= 1
+                    if self._active == 0:
+                        self._active_cond.notify_all()
 
     def _serve_one(self, queued: _QueuedRequest) -> None:
         request, deadline = queued.request, queued.deadline
@@ -463,9 +544,16 @@ class ParseServer:
             return
         started = time.monotonic()
         try:
-            with attempt_deadline(deadline.remaining()
-                                  if deadline.enabled else 0.0):
-                response = self.service.handle(request)
+            if self.pool is not None:
+                # Deadlines are enforced out of process by the pool
+                # supervisor (select + SIGKILL) — no SIGALRM, so this
+                # works identically on every dispatcher thread.
+                response = self.service.handle(request,
+                                               deadline=deadline)
+            else:
+                with attempt_deadline(deadline.remaining()
+                                      if deadline.enabled else 0.0):
+                    response = self.service.handle(request)
         except DeadlineExceeded:
             response = {"id": request.get("id"),
                         "op": request.get("op"),

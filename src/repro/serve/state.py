@@ -31,21 +31,32 @@ Lookup resolution order for a ``parse`` request:
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.api import Config, Session
 from repro.cpp import FileSystem, RealFileSystem
 from repro.engine import DEFAULT_OPTIMIZATION
 from repro.engine.cache import (ResultCache, config_fingerprint,
                                 include_closure)
-from repro.engine.results import record_from_result
+from repro.engine.results import (STATUS_CRASHED, STATUS_ERROR,
+                                  STATUS_TIMEOUT, record_from_result)
+from repro.obs.tracer import NULL_TRACER
 from repro.parser.fmlr import OPTIMIZATION_LEVELS
 from repro.serve.incremental import InvalidationIndex, token_fingerprint
+from repro.serve.journal import ParseJournal
 
 TIER_MEMORY = "memory"
 TIER_DISK = "disk"
 TIER_TOKEN = "token"
+
+# Failure records describe one attempt, not the unit: publishing them
+# to the warm tiers would pin a transient crash/timeout as the unit's
+# answer.  Mirrors the batch engine's non-caching of retryable states.
+UNCACHEABLE_STATUSES = (STATUS_ERROR, STATUS_TIMEOUT, STATUS_CRASHED)
+
+JOURNAL_NAME = "serve-journal.jsonl"
 
 
 class FileStore(FileSystem):
@@ -108,11 +119,17 @@ class FileStore(FileSystem):
 
 
 class ParseEntry:
-    """One unit's warm result plus the evidence that keys it."""
+    """One unit's warm result plus the evidence that keys it.
+
+    ``record`` may be ``None`` for an entry resumed from the on-disk
+    journal: the metadata (key, closure, token fingerprint) came back,
+    and the record itself is fetched lazily from the result cache the
+    first time a tier needs it.
+    """
 
     __slots__ = ("key", "record", "closure_files", "token_fp")
 
-    def __init__(self, key: str, record: dict,
+    def __init__(self, key: str, record: Optional[dict],
                  closure_files: FrozenSet[str],
                  token_fp: Optional[str]):
         self.key = key
@@ -128,6 +145,8 @@ class ServerState:
                  optimization: str = DEFAULT_OPTIMIZATION,
                  cache_dir: Optional[str] = None,
                  use_result_cache: bool = True,
+                 tracer: object = None,
+                 use_journal: bool = True,
                  **overrides: Any):
         if config is None:
             config = Config(**overrides)
@@ -139,6 +158,7 @@ class ServerState:
             config = config.replace(
                 options=OPTIMIZATION_LEVELS[optimization])
         self.optimization = optimization
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.files = FileStore(config.resolved_fs())
         # One warm Session: tables built once, reused by every request.
         # The session reads through the fingerprinting store so request
@@ -148,13 +168,61 @@ class ServerState:
         self.fingerprint = config_fingerprint(
             list(config.include_paths), config.builtins,
             config.extra_definitions, optimization)
-        self.result_cache = (ResultCache(cache_dir, self.fingerprint)
+        self.result_cache = (ResultCache(cache_dir, self.fingerprint,
+                                         tracer=self.tracer)
                              if use_result_cache else None)
         self.index = InvalidationIndex(list(config.include_paths))
         self.entries: Dict[str, ParseEntry] = {}
         self._lock = threading.Lock()
         self.parses = 0
         self.token_short_circuits = 0
+        # Installed by ParseServer when a worker pool is active: a
+        # callable (unit, text, closure_files, deadline) -> record that
+        # runs the parse out of process.  None -> parse inline.
+        self.executor: Optional[Callable[..., dict]] = None
+        # Warm-state journal: lives inside the result cache's
+        # fingerprint directory (which clear() leaves alone — it only
+        # removes *.json), so journal and records travel together.
+        self.journal: Optional[ParseJournal] = None
+        self.journal_resumed = 0
+        if use_journal and self.result_cache is not None:
+            self.journal = ParseJournal(
+                os.path.join(self.result_cache.directory, JOURNAL_NAME),
+                tracer=self.tracer)
+            self._resume_from_journal()
+
+    def _resume_from_journal(self) -> None:
+        """Rebuild warm-entry metadata from a previous daemon's life.
+
+        Records stay on disk (the result cache); what comes back here
+        is the per-unit key, closure membership, and token fingerprint
+        — enough for the disk and token tiers to short-circuit the
+        first request after a restart instead of re-parsing cold."""
+        entries = self.journal.load()
+        if not entries:
+            return
+        with self._lock:
+            for unit, meta in entries.items():
+                self.entries[unit] = ParseEntry(
+                    meta["key"], None, frozenset(meta["closure"]),
+                    meta["token_fp"])
+                self.journal_resumed += 1
+                if self.tracer.enabled:
+                    self.tracer.count("serve.journal.resume")
+        self.index.mark_dirty()
+
+    def reset_after_fork(self) -> None:
+        """Make inherited state safe inside a freshly forked worker.
+
+        Locks can be forked while held by another thread; replace them
+        so the child can't deadlock on a lock nobody will release.  The
+        child parses only — it must not write the parent's journal or
+        result cache, so both are detached."""
+        self._lock = threading.Lock()
+        self.files._lock = threading.Lock()
+        self.journal = None
+        self.result_cache = None
+        self.executor = None
 
     # -- lookup / store ------------------------------------------------
 
@@ -181,7 +249,8 @@ class ServerState:
         """(record, tier) for a warm answer, or (None, None)."""
         with self._lock:
             entry = self.entries.get(unit)
-        if entry is not None and entry.key == key:
+        if entry is not None and entry.key == key \
+                and entry.record is not None:
             return entry.record, TIER_MEMORY
         if self.result_cache is not None:
             record = self.result_cache.get(key)
@@ -196,31 +265,56 @@ class ServerState:
             fresh_fp = token_fingerprint(self.files.read, unit,
                                          closure_files)
             if fresh_fp is not None and fresh_fp == entry.token_fp:
-                self.token_short_circuits += 1
                 record = entry.record
-                # Re-publish under the new key so the *next* request
-                # (and any batch run) hits tiers 1-2 directly.
-                self._remember(unit, key, record, closure_files,
-                               token_fp=fresh_fp)
-                if self.result_cache is not None:
-                    self.result_cache.put(key, record)
-                return record, TIER_TOKEN
+                if record is None and entry.key \
+                        and self.result_cache is not None:
+                    # Journal-resumed entry: the metadata matched, the
+                    # record itself still lives under the old key on
+                    # disk.
+                    record = self.result_cache.get(entry.key)
+                if record is not None:
+                    self.token_short_circuits += 1
+                    # Re-publish under the new key so the *next*
+                    # request (and any batch run) hits tiers 1-2
+                    # directly.
+                    self._remember(unit, key, record, closure_files,
+                                   token_fp=fresh_fp)
+                    if self.result_cache is not None:
+                        self.result_cache.put(key, record)
+                    return record, TIER_TOKEN
         return None, None
 
     def parse(self, unit: str, text: str, key: str,
-              closure_files: FrozenSet[str]) -> dict:
-        """Fresh parse through the warm session; publishes the record."""
-        result = self.session.parse(text, unit)
-        record = record_from_result(unit, result,
-                                    seconds=result.timing.total)
+              closure_files: FrozenSet[str],
+              deadline: object = None) -> dict:
+        """Fresh parse; publishes the record unless it is a failure.
+
+        With an ``executor`` installed (worker pool), the parse runs in
+        a supervised child process and the supervisor enforces
+        ``deadline``; otherwise it runs inline on the warm session.
+        Failure records (error / timeout / crashed) are returned but
+        never published to the warm tiers or the journal — they
+        describe one attempt, not the unit."""
+        if self.executor is not None:
+            record = self.executor(unit, text, closure_files, deadline)
+        else:
+            record = self._parse_inline(unit, text)
         self.parses += 1
+        if record.get("status") in UNCACHEABLE_STATUSES:
+            return record
         fp = token_fingerprint(self.files.read, unit, closure_files)
         self._remember(unit, key, record, closure_files, token_fp=fp)
         if self.result_cache is not None:
             self.result_cache.put(key, record)
         return record
 
-    def _remember(self, unit: str, key: str, record: dict,
+    def _parse_inline(self, unit: str, text: str) -> dict:
+        """One parse on the warm in-process session."""
+        result = self.session.parse(text, unit)
+        return record_from_result(unit, result,
+                                  seconds=result.timing.total)
+
+    def _remember(self, unit: str, key: str, record: Optional[dict],
                   closure_files: FrozenSet[str],
                   token_fp: Optional[str] = None) -> None:
         with self._lock:
@@ -231,6 +325,8 @@ class ServerState:
             self.entries[unit] = ParseEntry(key, record, closure_files,
                                             token_fp)
         self.index.mark_dirty()
+        if self.journal is not None:
+            self.journal.append(unit, key, closure_files, token_fp)
 
     # -- invalidation --------------------------------------------------
 
@@ -257,6 +353,7 @@ class ServerState:
             self.files.invalidate(path)
         self.index.mark_dirty()
         dropped = []
+        demoted = []
         with self._lock:
             for unit in affected:
                 entry = self.entries.get(unit)
@@ -267,7 +364,14 @@ class ServerState:
                 self.entries[unit] = ParseEntry(
                     "", entry.record, entry.closure_files,
                     entry.token_fp)
+                demoted.append((unit, entry))
                 dropped.append(unit)
+        if self.journal is not None:
+            # Journal the demotion too: a daemon restarted after an
+            # edit must not resume the stale pre-edit key.
+            for unit, entry in demoted:
+                self.journal.append(unit, "", entry.closure_files,
+                                    entry.token_fp)
         return sorted(dropped)
 
     # -- introspection -------------------------------------------------
@@ -285,6 +389,10 @@ class ServerState:
             "result_cache": (None if cache is None else
                              {"hits": cache.hits,
                               "misses": cache.misses,
+                              "corrupt": cache.corrupt,
                               "directory": cache.directory}),
+            "journal": (None if self.journal is None else
+                        dict(self.journal.stats(),
+                             resumed=self.journal_resumed)),
             "files_known": len(self.files.known_files()),
         }

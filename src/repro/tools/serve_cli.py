@@ -22,8 +22,21 @@ request, reverse-invalidation on a header edit, ``status=shed`` under
 an over-depth burst, and a clean draining shutdown — exits nonzero on
 the first violated expectation (the Makefile ``serve-smoke`` target).
 
+Chaos-smoke mode (``--chaos-smoke FILE``) runs the fault-tolerance
+contract: under a seeded :mod:`repro.chaos` plan it injects a worker
+crash, a parse hang past its deadline, a corrupt cache blob, a
+dropped client socket mid-response, and an ENOSPC on a cache write —
+asserting the daemon answers a correct parse after every fault — then
+hard-kills the daemon and verifies the restarted one resumes warm-tier
+short-circuiting from the journal (the Makefile ``chaos-smoke``
+target).
+
+``--workers N`` puts the daemon behind a supervised pre-forked pool of
+N parse workers with N concurrent dispatchers (deadlines enforced by
+the pool supervisor, not SIGALRM).
+
 Exit status: 0 success; 1 a client op failed (parse error, shed,
-smoke expectation violated); 2 usage errors.
+daemon unavailable, smoke expectation violated); 2 usage errors.
 """
 
 from __future__ import annotations
@@ -70,6 +83,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="default per-request deadline "
                              "(0 disables)")
+    server.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run parses in a supervised pool of N "
+                             "forked workers (0 = inline, the "
+                             "single-process mode)")
     server.add_argument("--cache-dir", metavar="DIR",
                         help="result-cache directory (shared with "
                              "superc-batch)")
@@ -102,6 +119,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--smoke-header", metavar="PATH",
                         help="header to invalidate during --smoke "
                              "(default: first include dir header)")
+    parser.add_argument("--chaos-smoke", metavar="FILE",
+                        dest="chaos_smoke",
+                        help="run the fault-injection smoke against "
+                             "FILE (starts its own server, injects "
+                             "the five chaos fault kinds, restarts "
+                             "the daemon)")
     return parser
 
 
@@ -109,6 +132,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
     if args.smoke:
         return run_smoke(args)
+    if args.chaos_smoke:
+        return run_chaos_smoke(args)
     client_mode = bool(args.parse_paths or args.invalidate_paths
                        or args.stats or args.shutdown)
     if args.socket is None and args.port is None:
@@ -128,6 +153,7 @@ def run_server(args) -> int:
     server = ParseServer(
         socket_path=args.socket, host=args.host, port=args.port,
         max_queue=args.max_queue, deadline_seconds=args.deadline,
+        workers=max(0, args.workers),
         tracer=tracer, optimization=args.optimization,
         cache_dir=args.cache_dir,
         use_result_cache=not args.no_result_cache,
@@ -148,14 +174,26 @@ def run_server(args) -> int:
 
 
 def run_client(args) -> int:
-    from repro.serve import ServeClient, ServeError
+    from repro.serve import STATUS_UNAVAILABLE, ServeClient, ServeError
     failures = 0
+
+    def down(response: dict) -> bool:
+        """A structured daemon-unreachable response (the client's
+        retry budget is already spent at this point)."""
+        if response.get("status") != STATUS_UNAVAILABLE:
+            return False
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return True
+
     try:
         with ServeClient(socket_path=args.socket, host=args.host,
                          port=args.port) as client:
             for path in args.parse_paths:
                 result = client.parse(path, fresh=args.fresh)
                 record = result.record
+                if down(record):
+                    failures += 1
+                    continue
                 if args.json:
                     print(json.dumps(record, sort_keys=True))
                 else:
@@ -168,6 +206,9 @@ def run_client(args) -> int:
                     failures += 1
             for path in args.invalidate_paths:
                 response = client.invalidate(path)
+                if down(response):
+                    failures += 1
+                    continue
                 if args.json:
                     print(json.dumps(response, sort_keys=True))
                 else:
@@ -176,11 +217,17 @@ def run_client(args) -> int:
                 if response.get("status") != "ok":
                     failures += 1
             if args.stats:
-                stats = client.stats()
-                print(json.dumps(stats, indent=2, sort_keys=True))
+                response = client.request("stats")
+                if down(response):
+                    failures += 1
+                else:
+                    print(json.dumps(response.get("stats") or {},
+                                     indent=2, sort_keys=True))
             if args.shutdown:
                 response = client.shutdown()
-                if args.json:
+                if down(response):
+                    failures += 1
+                elif args.json:
                     print(json.dumps(response, sort_keys=True))
                 else:
                     print(f"shutdown: drained "
@@ -289,6 +336,142 @@ def run_smoke(args) -> int:
         server.close()
     print("\n".join(checks))
     print("serve-smoke: all checks passed")
+    return 0
+
+
+def run_chaos_smoke(args) -> int:
+    """Fault-tolerance contract under a seeded chaos plan.
+
+    One fault of each kind is armed against a live pooled daemon; the
+    assertion after every one is the same: the next request is still
+    answered correctly.  Then the daemon is hard-killed (no drain) and
+    a fresh one on the same cache directory must resume warm-tier
+    short-circuiting from the journal."""
+    from repro import chaos
+    from repro.serve import ParseServer, PoolConfig, ServeClient
+
+    unit = args.chaos_smoke
+    if not os.path.isfile(unit):
+        print(f"error: cannot read {unit}", file=sys.stderr)
+        return 2
+    checks: List[str] = []
+
+    def expect(condition: bool, label: str) -> None:
+        status = "ok" if condition else "FAIL"
+        checks.append(f"  [{status}] {label}")
+        if not condition:
+            raise AssertionError(label)
+
+    tmp = tempfile.mkdtemp(prefix="superc-chaos-smoke-")
+    cache_dir = os.path.join(tmp, "cache")
+    pool_config = PoolConfig(size=2, heartbeat_seconds=0.2)
+
+    def make_server(name: str) -> "ParseServer":
+        return ParseServer(
+            socket_path=os.path.join(tmp, name), max_queue=16,
+            workers=2, pool_config=pool_config,
+            optimization=args.optimization, cache_dir=cache_dir,
+            include_paths=tuple(args.include),
+            extra_definitions=parse_defines(args.define) or None)
+
+    plan = chaos.install(chaos.FaultPlan(seed=8))
+    server = make_server("serve.sock").start()
+    restarted = None
+    try:
+        with ServeClient(socket_path=server.socket_path) as client:
+            first = client.parse(unit).record
+            expect(first["status"] in ("ok", "degraded"),
+                   f"baseline parse usable (status={first['status']})")
+
+            # 1. Worker crash mid-request: the supervisor reaps the
+            # dead worker, restarts one under backoff, and the pool's
+            # one-shot retry still answers this very request.
+            plan.arm("pool.request", "worker-crash")
+            crashed = client.parse(unit, fresh=True).record
+            expect(crashed["status"] in ("ok", "degraded"),
+                   "request survives its worker crashing")
+            pool_stats = client.stats()["pool"]
+            expect(pool_stats["crashes"] >= 1
+                   and pool_stats["restarts"] >= 1,
+                   f"supervisor reaped and restarted "
+                   f"(crashes={pool_stats['crashes']}, "
+                   f"restarts={pool_stats['restarts']})")
+
+            # 2. Parse hang past its deadline: the supervisor SIGKILLs
+            # the worker at the deadline and answers status=timeout;
+            # the next request parses cleanly.
+            plan.arm("pool.request", "worker-hang", seconds=30.0)
+            hung = client.parse(unit, fresh=True, deadline=1.5).record
+            expect(hung["status"] == "timeout",
+                   f"hung worker killed at the deadline "
+                   f"(status={hung['status']})")
+            after = client.parse(unit, fresh=True).record
+            expect(after["status"] in ("ok", "degraded"),
+                   "clean parse right after the hang")
+
+            # 3. Corrupt cache blob: invalidate demotes the memory
+            # entry, the disk read hits the truncated blob, treats it
+            # as a miss (deleting it), and the token tier still
+            # short-circuits the re-parse.
+            client.invalidate(unit)
+            plan.arm("cache.get", "corrupt-blob")
+            corrupt = client.parse(unit).record
+            expect(corrupt["status"] in ("ok", "degraded"),
+                   "request survives a corrupt cache blob")
+            stats = client.stats()
+            expect((stats["result_cache"] or {}).get("corrupt", 0) >= 1,
+                   "corrupt blob detected, counted, and quarantined")
+
+            # 4. Dropped client socket mid-response: the server-side
+            # chaos hook closes the socket under the sender; the
+            # client reconnects with backoff and resends.
+            plan.arm("conn.send", "drop-conn")
+            dropped = client.parse(unit).record
+            expect(dropped["status"] in ("ok", "degraded"),
+                   "client reconnects through a dropped socket")
+
+            # 5. ENOSPC on the cache write: publishing is best-effort,
+            # the parse result still comes back.
+            plan.arm("cache.put", "enospc")
+            enospc = client.parse(unit, fresh=True).record
+            expect(enospc["status"] in ("ok", "degraded"),
+                   "parse survives ENOSPC on the cache write")
+
+        # 6. Hard kill (no drain, no shutdown) + restart on the same
+        # cache directory: the journal must bring the warm tiers back.
+        server.close()
+        expect(server.wait(10.0), "daemon hard-stopped")
+        restarted = make_server("serve2.sock").start()
+        with ServeClient(socket_path=restarted.socket_path) as client:
+            resumed = client.parse(unit).record
+            expect(resumed.get("cache") == "hit"
+                   and resumed.get("tier") in ("disk", "token"),
+                   f"first post-restart request short-circuits "
+                   f"(tier={resumed.get('tier')})")
+            stats = client.stats()
+            expect((stats["journal"] or {}).get("resumed", 0) > 0,
+                   f"journal resumed "
+                   f"{(stats['journal'] or {}).get('resumed')} "
+                   f"warm entr(y/ies)")
+            client.shutdown()
+        expect(restarted.wait(10.0), "restarted daemon drained")
+
+        fired = {entry["kind"] for entry in plan.log}
+        wanted = {"worker-crash", "worker-hang", "corrupt-blob",
+                  "drop-conn", "enospc"}
+        expect(fired == wanted,
+               f"all five fault kinds fired ({sorted(fired)})")
+    except AssertionError as error:
+        print("\n".join(checks))
+        print(f"chaos-smoke: FAILED — {error}", file=sys.stderr)
+        return 1
+    finally:
+        chaos.uninstall()
+        server.close()
+        if restarted is not None:
+            restarted.close()
+    print("\n".join(checks))
+    print("chaos-smoke: all checks passed")
     return 0
 
 

@@ -1,0 +1,422 @@
+"""Tests for fault injection (``repro.chaos``) and the fault-tolerant
+serve machinery it exercises: the supervised worker pool, the
+crash-surviving journal, and the hardened result cache."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import chaos
+from repro.api import Config
+from repro.engine import CrashLoopBreaker
+from repro.engine.cache import ResultCache
+from repro.obs import Tracer
+from repro.serve import Deadline, ParseJournal, PoolConfig, ServerState
+from repro.serve.pool import WorkerPool
+
+FILES = {
+    "include/shared.h": "#define SHARED 1\n",
+    "a.c": "#include <shared.h>\nint a = SHARED;\n",
+    "b.c": "int b = 2;\n",
+}
+INCLUDE_PATHS = ("include",)
+
+
+def make_state(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ServerState(
+        Config(files=dict(FILES), include_paths=INCLUDE_PATHS),
+        **kwargs)
+
+
+def parse_unit(state, unit):
+    text = state.files.read(unit)
+    key, _digest, members = state.unit_key(unit, text)
+    record, tier = state.lookup(unit, key, members)
+    if record is None:
+        record = state.parse(unit, text, key, members)
+    return record, tier
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    chaos.uninstall()
+    yield
+    chaos.uninstall()
+
+
+# -- the harness itself ------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_disabled_by_default(self):
+        assert chaos.ACTIVE is None
+        chaos.fire("anything", path="x")  # no plan: must be a no-op
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            chaos.Fault("site", "meteor-strike")
+
+    def test_arm_fires_on_next_invocation_only(self):
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            marker = RuntimeError("boom")
+            plan.arm("site", "raise", exc=marker)
+            with pytest.raises(RuntimeError):
+                chaos.fire("site")
+            chaos.fire("site")  # consumed: fires exactly once
+        assert plan.fired("raise") == 1
+        assert plan.counts["site"] == 2
+
+    def test_arm_after_skips_invocations(self):
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            plan.arm("site", "raise", after=2, exc=RuntimeError("x"))
+            chaos.fire("site")
+            chaos.fire("site")
+            with pytest.raises(RuntimeError):
+                chaos.fire("site")
+
+    def test_sites_are_independent(self):
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            plan.arm("one", "raise", exc=RuntimeError("x"))
+            chaos.fire("other")  # different site: untouched
+            assert plan.fired() == 0
+            with pytest.raises(RuntimeError):
+                chaos.fire("one")
+
+    def test_seeded_schedule_is_deterministic(self):
+        schedules = []
+        for _ in range(2):
+            plan = chaos.FaultPlan(
+                [chaos.Fault("s", "raise"), chaos.Fault("s", "raise")],
+                seed=7, window=5)
+            schedules.append([fault.at for fault in plan.pending])
+        assert schedules[0] == schedules[1]
+
+    def test_log_records_each_injection(self):
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            plan.arm("site", "worker-crash")
+            request = {"op": "parse"}
+            chaos.fire("site", request=request)
+        assert request["_chaos"] == "crash"
+        assert plan.log == [{"site": "site", "kind": "worker-crash",
+                             "at": 1}]
+
+    def test_corrupt_blob_truncates_file(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps({"status": "ok"}))
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            plan.arm("site", "corrupt-blob")
+            chaos.fire("site", path=str(path))
+        with pytest.raises(ValueError):
+            json.loads(path.read_text())
+
+    def test_enospc_raises_oserror(self):
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            plan.arm("site", "enospc")
+            with pytest.raises(OSError):
+                chaos.fire("site")
+
+
+# -- satellite: hardened ResultCache.get -------------------------------
+
+
+class TestResultCacheCorruption:
+    def make_cache(self, tmp_path, tracer=None):
+        return ResultCache(str(tmp_path / "cache"), "fp", tracer=tracer)
+
+    def test_truncated_blob_is_a_miss_and_deleted(self, tmp_path):
+        tracer = Tracer()
+        cache = self.make_cache(tmp_path, tracer=tracer)
+        cache.put("k", {"status": "ok"})
+        # Hand-truncate the blob mid-JSON (a crashed writer).
+        path = cache._path("k")
+        with open(path, "r+b") as handle:
+            handle.truncate(5)
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+        assert not os.path.exists(path), "bad blob must be quarantined"
+        assert tracer.counters["engine.result_cache.corrupt"] == 1
+        # Subsequent reads are plain misses, not repeat corruption.
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+
+    def test_non_dict_blob_is_a_miss(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(cache._path("k"), "w") as handle:
+            handle.write('["not", "a", "record"]')
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(cache._path("k"), "wb") as handle:
+            handle.write(b"\xff\xfe\x00garbage")
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+
+    def test_intact_records_still_hit(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        cache.put("k", {"status": "ok"})
+        assert cache.get("k") == {"status": "ok"}
+        assert cache.corrupt == 0
+
+
+# -- the journal -------------------------------------------------------
+
+
+class TestParseJournal:
+    def test_roundtrip_newest_wins(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = ParseJournal(path)
+        journal.append("a.c", "key1", ["a.c", "include/shared.h"], "fp1")
+        journal.append("b.c", "key2", ["b.c"], None)
+        journal.append("a.c", "key3", ["a.c"], "fp3")
+        entries = ParseJournal(path).load()
+        assert entries["a.c"]["key"] == "key3"
+        assert entries["a.c"]["token_fp"] == "fp3"
+        assert entries["b.c"]["token_fp"] is None
+        assert entries["b.c"]["closure"] == ["b.c"]
+
+    def test_corrupt_lines_discarded_individually(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = ParseJournal(path)
+        journal.append("a.c", "key1", ["a.c"], "fp1")
+        journal.append("b.c", "key2", ["b.c"], "fp2")
+        with open(path, "a") as handle:
+            handle.write('{"torn": tru')          # torn final append
+            handle.write("\n[1, 2, 3]\n")         # wrong shape
+            handle.write('{"unit": 5, "key": "x", "closure": [],'
+                         ' "token_fp": null}\n')  # wrong types
+        tracer = Tracer()
+        loaded = ParseJournal(path, tracer=tracer)
+        entries = loaded.load()
+        assert set(entries) == {"a.c", "b.c"}
+        assert loaded.discarded == 3
+        assert tracer.counters["serve.journal.discard"] == 3
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = ParseJournal(str(tmp_path / "nope.jsonl"))
+        assert journal.load() == {}
+        assert journal.discarded == 0
+
+    def test_compaction_preserves_live_entries(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = ParseJournal(path)
+        for round_number in range(200):
+            journal.append("a.c", f"key{round_number}", ["a.c"], "fp")
+        assert journal.compactions >= 1
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) < 200
+        entries = ParseJournal(path).load()
+        assert entries["a.c"]["key"] == "key199"
+
+    def test_append_failure_is_swallowed(self, tmp_path):
+        journal = ParseJournal(str(tmp_path / "journal.jsonl"))
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            plan.arm("journal.append", "enospc")
+            journal.append("a.c", "key1", ["a.c"], "fp1")  # must not raise
+            journal.append("a.c", "key2", ["a.c"], "fp2")
+        entries = ParseJournal(journal.path).load()
+        assert entries["a.c"]["key"] == "key2"
+
+
+class TestJournalResume:
+    def test_restart_resumes_disk_tier(self, tmp_path):
+        state = make_state(tmp_path)
+        record, tier = parse_unit(state, "a.c")
+        assert tier is None and record["status"] == "ok"
+        # Same cache dir, fresh process-worth of state: the journal
+        # must bring back the entry metadata and the first lookup must
+        # short-circuit from disk, not re-parse.
+        tracer = Tracer()
+        resumed = make_state(tmp_path, tracer=tracer)
+        assert resumed.journal_resumed == 1
+        assert tracer.counters["serve.journal.resume"] == 1
+        record, tier = parse_unit(resumed, "a.c")
+        assert tier == "disk"
+        assert resumed.parses == 0
+
+    def test_restart_resumes_token_tier(self, tmp_path):
+        state = make_state(tmp_path)
+        parse_unit(state, "b.c")
+        resumed = make_state(tmp_path)
+        # Layout-only edit: new content digest (so no memory/disk key
+        # match) but identical token fingerprint.  The resumed entry
+        # has no in-memory record — it must be lazily fetched from the
+        # old key's disk blob.
+        resumed.files.put("b.c", "int   b /* layout */ = 2;\n")
+        resumed.index.mark_dirty()
+        record, tier = parse_unit(resumed, "b.c")
+        assert tier == "token"
+        assert resumed.parses == 0
+        assert record["status"] == "ok"
+
+    def test_no_journal_when_cache_disabled(self, tmp_path):
+        state = make_state(tmp_path, use_result_cache=False)
+        assert state.journal is None
+        parse_unit(state, "b.c")  # must not crash without a journal
+
+    def test_invalidation_demotion_survives_restart(self, tmp_path):
+        state = make_state(tmp_path)
+        parse_unit(state, "a.c")
+        state.invalidate("include/shared.h",
+                         text="#define SHARED 99\n")
+        resumed = make_state(tmp_path)
+        entry = resumed.entries.get("a.c")
+        assert entry is not None and entry.key == "", \
+            "restart must not resurrect a pre-edit key"
+
+
+# -- the worker pool ---------------------------------------------------
+
+
+def make_pool(state, **kwargs):
+    kwargs.setdefault("size", 1)
+    kwargs.setdefault("heartbeat_seconds", 0.1)
+    pool = WorkerPool(state, PoolConfig(**kwargs))
+    pool.start()
+    state.executor = pool.execute
+    return pool
+
+
+class TestWorkerPool:
+    def test_pooled_parse_matches_inline(self, tmp_path):
+        state = make_state(tmp_path)
+        pool = make_pool(state)
+        try:
+            record, _tier = parse_unit(state, "a.c")
+            assert record["status"] == "ok"
+            assert record["unit"] == "a.c"
+            assert pool.spawns >= 1
+        finally:
+            pool.close()
+
+    def test_worker_crash_recovers_same_request(self, tmp_path):
+        state = make_state(tmp_path)
+        pool = make_pool(state)
+        try:
+            plan = chaos.FaultPlan()
+            with chaos.injected(plan):
+                plan.arm("pool.request", "worker-crash")
+                record, _tier = parse_unit(state, "a.c")
+            assert record["status"] == "ok", \
+                "the crashed request must be retried on a fresh worker"
+            assert pool.crashes == 1
+            assert pool.restarts >= 1
+            assert plan.fired("worker-crash") == 1
+        finally:
+            pool.close()
+
+    def test_hang_is_killed_at_deadline(self, tmp_path):
+        state = make_state(tmp_path)
+        pool = make_pool(state)
+        try:
+            plan = chaos.FaultPlan()
+            with chaos.injected(plan):
+                plan.arm("pool.request", "worker-hang", seconds=30.0)
+                text = state.files.read("b.c")
+                key, _d, members = state.unit_key("b.c", text)
+                record = state.parse("b.c", text, key, members,
+                                     deadline=Deadline(0.5))
+            assert record["status"] == "timeout"
+            # A failure record must never be published to the caches.
+            fresh_record, tier = parse_unit(state, "b.c")
+            assert tier is None and fresh_record["status"] == "ok"
+        finally:
+            pool.close()
+
+    def test_breaker_trips_to_inline_mode(self, tmp_path):
+        state = make_state(tmp_path)
+        pool = make_pool(state, breaker_threshold=2,
+                         breaker_cooldown=3600.0)
+        try:
+            plan = chaos.FaultPlan()
+            with chaos.injected(plan):
+                # Both the first attempt and its retry crash: two
+                # consecutive worker deaths reach the threshold.
+                # (after= is relative to the *current* count, so the
+                # second fault must be armed one invocation later.)
+                plan.arm("pool.request", "worker-crash")
+                plan.arm("pool.request", "worker-crash", after=1)
+                record, _tier = parse_unit(state, "a.c")
+            assert record["status"] == "ok", \
+                "breaker-degraded mode still answers (inline)"
+            assert pool.breaker.tripped
+            assert pool.inline_parses >= 1
+            stats = pool.stats()
+            assert stats["breaker"]["tripped"]
+            assert stats["breaker"]["trips"] == 1
+        finally:
+            pool.close()
+
+    def test_recycle_after_max_requests(self, tmp_path):
+        state = make_state(tmp_path)
+        pool = make_pool(state, max_requests=1,
+                         heartbeat_seconds=0.05)
+        try:
+            record, _tier = parse_unit(state, "b.c")
+            assert record["status"] == "ok"
+            deadline = Deadline(5.0)
+            while pool.recycles == 0 and not deadline.expired():
+                time.sleep(0.02)
+            assert pool.recycles >= 1
+            # The replacement still serves.
+            text = state.files.read("b.c")
+            key, _digest, members = state.unit_key("b.c", text)
+            record = state.parse("b.c", text, key, members)
+            assert record["status"] == "ok"
+        finally:
+            pool.close()
+
+    def test_close_reaps_children(self, tmp_path):
+        state = make_state(tmp_path)
+        pool = make_pool(state, size=2)
+        pids = [worker.pid for worker in pool._workers]
+        assert pids
+        pool.close()
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # ESRCH: no such process
+
+
+class TestCrashLoopBreaker:
+    def test_trips_exactly_at_threshold(self):
+        breaker = CrashLoopBreaker(3)
+        assert not breaker.failure()
+        assert not breaker.failure()
+        assert breaker.failure(), "third consecutive failure trips"
+        assert breaker.tripped and breaker.trips == 1
+        assert not breaker.failure(), "already tripped: no re-trip"
+
+    def test_success_resets_streak(self):
+        breaker = CrashLoopBreaker(2)
+        breaker.failure()
+        breaker.success()
+        assert not breaker.failure(), "streak was reset"
+        assert not breaker.tripped
+
+    def test_reset_reopens(self):
+        breaker = CrashLoopBreaker(1)
+        assert breaker.failure()
+        breaker.reset()
+        assert not breaker.tripped
+        assert breaker.failure(), "half-open probe can re-trip"
+        assert breaker.trips == 2
+
+    def test_zero_threshold_disables(self):
+        breaker = CrashLoopBreaker(0)
+        for _ in range(10):
+            assert not breaker.failure()
+        assert not breaker.tripped

@@ -7,15 +7,17 @@ import time
 
 import pytest
 
+from repro import chaos
 from repro.api import Config, is_result
 from repro.cpp import DictFileSystem
 from repro.engine import (BatchEngine, CorpusJob, EngineConfig,
                           attempt_deadline, DeadlineExceeded)
 from repro.serve import (AdmissionQueue, Deadline, FileStore,
                          InvalidationIndex, ParseServer, ParseService,
-                         QueueClosed, STATUS_SHED, ServeClient,
-                         ServeError, ServerState, TIER_DISK,
-                         TIER_MEMORY, TIER_TOKEN, file_token_digest,
+                         PoolConfig, QueueClosed, STATUS_SHED,
+                         STATUS_UNAVAILABLE, ServeClient, ServeError,
+                         ServerState, TIER_DISK, TIER_MEMORY,
+                         TIER_TOKEN, file_token_digest,
                          token_fingerprint)
 from repro.serve.incremental import build_resolved_include_graph
 
@@ -488,6 +490,231 @@ class TestParseServerEndToEnd:
         client = ServeClient(socket_path=str(tmp_path / "nope.sock"))
         with pytest.raises(ServeError):
             client.connect()
+
+
+class TestAdmissionRaces:
+    """Concurrency contracts of the admission queue: nothing admitted
+    is ever lost, nothing shed is ever served, and the shutdown
+    sentinel always lands last — under racing producers."""
+
+    PRODUCERS = 8
+    PER_PRODUCER = 50
+
+    def _run_race(self, queue, submit_barrier=None):
+        accepted = [[] for _ in range(self.PRODUCERS)]
+        shed = [0] * self.PRODUCERS
+
+        def produce(index):
+            if submit_barrier is not None:
+                submit_barrier.wait()
+            for sequence in range(self.PER_PRODUCER):
+                item = (index, sequence)
+                if queue.submit(item):
+                    accepted[index].append(item)
+                else:
+                    shed[index] += 1
+        threads = [threading.Thread(target=produce, args=(index,))
+                   for index in range(self.PRODUCERS)]
+        for thread in threads:
+            thread.start()
+        return threads, accepted, shed
+
+    def test_concurrent_producers_during_drain(self):
+        """Producers race ``close_with``: every accepted item is popped
+        exactly once before QueueClosed, and the sentinel is last."""
+        queue = AdmissionQueue(max_depth=10_000)
+        barrier = threading.Barrier(self.PRODUCERS + 1)
+        threads, accepted, shed = self._run_race(queue, barrier)
+        barrier.wait()          # all producers mid-flight…
+        queue.close_with("SENTINEL")
+        for thread in threads:
+            thread.join()
+        popped = []
+        with pytest.raises(QueueClosed):
+            while True:
+                popped.append(queue.pop(timeout=0.5))
+        assert popped[-1] == "SENTINEL", \
+            "the shutdown sentinel must drain last"
+        served = popped[:-1]
+        flat_accepted = [item for items in accepted for item in items]
+        # Conservation: accepted == served (exactly once), and
+        # accepted + shed == every submit attempted.
+        assert sorted(served) == sorted(flat_accepted)
+        assert len(served) == len(set(served))
+        assert len(flat_accepted) + sum(shed) \
+            == self.PRODUCERS * self.PER_PRODUCER
+
+    def test_shed_vs_pop_ordering_and_conservation(self):
+        """With a consumer racing a tiny queue, every item is either
+        served in per-producer FIFO order or shed — never both, never
+        lost."""
+        queue = AdmissionQueue(max_depth=4)
+        popped = []
+        done = threading.Event()
+
+        def consume():
+            while True:
+                try:
+                    item = queue.pop(timeout=0.2)
+                except QueueClosed:
+                    return
+                if item is None:
+                    if done.is_set():
+                        # Producers finished; drain the tail.
+                        queue.begin_drain()
+                    continue
+                popped.append(item)
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        threads, accepted, shed = self._run_race(queue)
+        for thread in threads:
+            thread.join()
+        done.set()
+        consumer.join(timeout=10.0)
+        assert not consumer.is_alive()
+        flat_accepted = [item for items in accepted for item in items]
+        assert sorted(popped) == sorted(flat_accepted), \
+            "served set must be exactly the accepted set"
+        assert queue.shed == sum(shed)
+        assert queue.submitted == len(flat_accepted)
+        # FIFO per producer: each producer's surviving sequence
+        # numbers come out in submission order.
+        for index in range(self.PRODUCERS):
+            sequences = [sequence for (producer, sequence) in popped
+                         if producer == index]
+            assert sequences == sorted(sequences)
+
+    def test_queue_wait_counts_against_deadline(self, running_server):
+        """A request whose whole budget is eaten by queue wait is
+        answered ``timeout`` without being parsed (the Deadline starts
+        at admission, not at pop)."""
+        server, sock = running_server
+        with ServeClient(socket_path=sock) as client:
+            client.parse("a.c")  # warm up so delay dominates
+            baseline = server.state.parses
+            slow = client.submit("parse", path="a.c", delay=0.4,
+                                 fresh=True)
+            doomed = client.submit("parse", path="b.c", deadline=0.05)
+            responses = client.drain([slow, doomed])
+        assert responses[0]["status"] in ("ok", "degraded")
+        assert responses[1]["status"] == "timeout"
+        assert "in queue" in responses[1]["error"], \
+            "the timeout must be attributed to queue wait"
+        assert server.state.parses == baseline + 1, \
+            "the expired request must not have been parsed"
+
+
+class TestClientRetry:
+    def test_unavailable_after_retry_budget(self, tmp_path):
+        client = ServeClient(socket_path=str(tmp_path / "nope.sock"),
+                             retries=2, backoff_base=0.001)
+        response = client.request("stats")
+        assert response["status"] == STATUS_UNAVAILABLE
+        assert response["attempts"] == 3
+        assert "cannot connect" in response["error"]
+
+    def test_zero_retries_still_structured(self, tmp_path):
+        client = ServeClient(socket_path=str(tmp_path / "nope.sock"),
+                             retries=0)
+        response = client.request("ping")
+        assert response["status"] == STATUS_UNAVAILABLE
+        assert response["attempts"] == 1
+
+    def test_backoff_is_deterministic_and_bounded(self, tmp_path):
+        kwargs = dict(socket_path=str(tmp_path / "sock"),
+                      backoff_base=0.05, backoff_max=0.4,
+                      backoff_jitter=0.5, backoff_seed=3)
+        one = ServeClient(**kwargs)
+        two = ServeClient(**kwargs)
+        delays = [one._backoff_delay(n) for n in range(1, 6)]
+        assert delays == [two._backoff_delay(n) for n in range(1, 6)]
+        assert all(delay <= 0.4 * 1.5 for delay in delays), \
+            "bounded by backoff_max plus jitter"
+        assert delays[1] > delays[0], "exponential ramp"
+
+    def test_reconnects_through_dropped_socket(self, running_server):
+        """chaos drop-conn severs the connection mid-response; the
+        client must reconnect, resend, and still get the answer."""
+        server, sock = running_server
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            with ServeClient(socket_path=sock,
+                             backoff_base=0.01) as client:
+                assert client.parse("c.c").ok
+                plan.arm("conn.send", "drop-conn")
+                result = client.parse("c.c")
+                assert result.ok, \
+                    "retry through the dropped socket must succeed"
+        assert plan.fired("drop-conn") == 1
+
+    def test_protocol_garbage_still_raises(self, tmp_path):
+        """Only transport failures retry: a garbage response line is a
+        bug, not a restart, and must surface immediately."""
+        error = ServeError("bad response line", retryable=False)
+        assert not error.retryable
+        retryable = ServeError("receive failed", retryable=True)
+        assert retryable.retryable
+
+
+class TestPooledServer:
+    """End-to-end over the supervised multi-process worker pool."""
+
+    @pytest.fixture
+    def pooled_server(self, tmp_path):
+        sock = str(tmp_path / "pool.sock")
+        server = ParseServer(
+            config=Config(files=dict(FILES),
+                          include_paths=INCLUDE_PATHS),
+            socket_path=sock, max_queue=16, workers=2,
+            pool_config=PoolConfig(size=2, heartbeat_seconds=0.2),
+            cache_dir=str(tmp_path / "cache")).start()
+        try:
+            yield server, sock
+        finally:
+            server.close()
+
+    def test_parse_over_pool(self, pooled_server):
+        server, sock = pooled_server
+        with ServeClient(socket_path=sock) as client:
+            first = client.parse("a.c")
+            assert first.ok and first.record["cache"] == "miss"
+            assert is_result(first)
+            second = client.parse("a.c")
+            assert second.record["cache"] == "hit"
+            stats = client.stats()
+            assert stats["pool"]["alive"] >= 1
+            assert stats["pool"]["spawns"] >= 2
+            assert client.shutdown()["status"] == "ok"
+        assert server.wait(10.0)
+
+    def test_worker_crash_is_invisible_to_client(self, pooled_server):
+        server, sock = pooled_server
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            with ServeClient(socket_path=sock) as client:
+                plan.arm("pool.request", "worker-crash")
+                result = client.parse("b.c", fresh=True)
+                assert result.ok
+                stats = client.stats()
+                assert stats["pool"]["crashes"] >= 1
+                assert stats["pool"]["restarts"] >= 1
+                client.shutdown()
+        assert server.wait(10.0)
+
+    def test_deadline_enforced_off_main_thread(self, pooled_server):
+        """The pool supervisor enforces deadlines with select+SIGKILL,
+        so they work on dispatcher threads where SIGALRM cannot."""
+        server, sock = pooled_server
+        plan = chaos.FaultPlan()
+        with chaos.injected(plan):
+            with ServeClient(socket_path=sock) as client:
+                plan.arm("pool.request", "worker-hang", seconds=30.0)
+                hung = client.parse("c.c", fresh=True, deadline=0.8)
+                assert hung.record["status"] == "timeout"
+                clean = client.parse("c.c", fresh=True)
+                assert clean.ok
+                client.shutdown()
+        assert server.wait(10.0)
 
 
 class TestServeCli:
