@@ -3,7 +3,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test smoke-batch fuzz-smoke robustness-smoke trace-smoke \
-	serve-smoke chaos-smoke bench clean-cache
+	serve-smoke http-smoke chaos-smoke bench clean-cache
 
 # Tier 1: the full unit-test suite (must stay green).
 test:
@@ -61,12 +61,23 @@ serve-smoke:
 	$(PY) -m repro.tools.serve_cli --smoke examples/mousedev.c \
 	    -I examples/include
 
+# Tier 2: HTTP-frontend smoke — start one daemon with a Unix socket
+# *and* an HTTP listener off the same warm state, then drive
+# parse/invalidate/stats/healthz over HTTP: 200 on /healthz, cache hit
+# on the re-parse, and the socket client answering a byte-identical
+# record for the unit HTTP warmed.  Exits nonzero on the first
+# violated expectation.
+http-smoke:
+	$(PY) -m repro.tools.serve_cli --http-smoke examples/mousedev.c \
+	    -I examples/include
+
 # Tier 2: fault-tolerance smoke — run a pooled (2-worker) server under
 # the deterministic repro.chaos fault plan: worker crash on request,
 # hang past the deadline, corrupt cache blob, dropped client socket,
-# and ENOSPC on cache put, then hard-kill the daemon and require the
-# restarted one to resume warm-state short-circuiting from the journal.
-# Exits nonzero on the first violated expectation.
+# ENOSPC on cache put, and a torn HTTP response body, then hard-kill
+# the daemon and require the restarted one to resume warm-state
+# short-circuiting from the journal (checked over HTTP).  Exits
+# nonzero on the first violated expectation.
 chaos-smoke:
 	$(PY) -m repro.tools.serve_cli --chaos-smoke examples/mousedev.c \
 	    -I examples/include

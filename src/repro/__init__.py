@@ -39,7 +39,7 @@ supervised worker pool), and :mod:`repro.chaos` (deterministic fault
 injection behind the ``chaos-smoke`` check).
 """
 
-from repro.api import Config, Session, is_result, parse
+from repro.api import Config, Session, connect, is_result, parse
 from repro.bdd import BDDManager
 from repro.cpp import (CompilationUnit, Conditional, DictFileSystem,
                        Preprocessor, PreprocessorError,
@@ -64,6 +64,6 @@ __all__ = [
     "SEVERITY_FATAL", "SEVERITY_WARNING", "STATUS_DEGRADED",
     "STATUS_OK", "STATUS_PARSE_FAILED", "Session",
     "SimplePreprocessor", "StaticChoice", "SuperC",
-    "SuperCResult", "SubparserExplosion", "Timing", "is_result",
-    "parse", "parse_c",
+    "SuperCResult", "SubparserExplosion", "Timing", "connect",
+    "is_result", "parse", "parse_c",
 ]

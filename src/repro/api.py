@@ -183,8 +183,25 @@ def parse(text: str, *, filename: str = "<input>",
     return Session(config, **overrides).parse(text, filename)
 
 
+def connect(url: str, **options: Any) -> Any:
+    """Open a :class:`repro.serve.RemoteSession` to a parse daemon.
+
+    The remote analogue of :class:`Session`: ``url`` names a running
+    ``superc-serve`` endpoint — ``unix:/path`` (or a bare socket
+    path), ``tcp:host:port``, or ``http://host:port`` — and the
+    returned session's ``parse``/``parse_file`` results satisfy the
+    same structural Result protocol as local ones.  ``options``
+    (``timeout``, ``retries``, ``backoff_*``) tune the transport.
+
+    Imported lazily so the in-process API never pays for the serve
+    subsystem.
+    """
+    from repro.serve.client import connect as _connect
+    return _connect(url, **options)
+
+
 __all__ = [
     "Config", "RESULT_FIELDS", "Session", "SuperC", "SuperCResult",
-    "Timing", "deprecated_property", "is_result", "parse",
+    "Timing", "connect", "deprecated_property", "is_result", "parse",
     "result_summary",
 ]

@@ -48,6 +48,10 @@ kind              site context           effect
                                          from inside the hook
 ``drop-conn``     ``sock`` (socket)      closes the socket under the
                                          sender mid-response
+``torn-body``     ``box`` (dict)         tags the box so the HTTP
+                                         frontend writes a truncated
+                                         response body and hard-closes
+                                         mid-reply
 ``raise``         —                      raises ``args["exc"]`` (tests)
 ================  =====================  ==============================
 """
@@ -62,7 +66,7 @@ import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 KINDS = ("worker-crash", "worker-hang", "corrupt-blob", "enospc",
-         "drop-conn", "raise")
+         "drop-conn", "torn-body", "raise")
 
 # The installed plan, or None.  Call sites test this directly; only
 # ever rebind through install()/uninstall() so tests compose.
@@ -196,6 +200,12 @@ class FaultPlan:
                     sock.close()
                 except OSError:
                     pass
+        elif kind == "torn-body":
+            # Like worker-crash's request tagging: the site owns the
+            # response bytes, so it acts the truncation out itself.
+            box = ctx.get("box")
+            if box is not None:
+                box["torn"] = True
         elif kind == "raise":
             raise fault.args.get("exc") or RuntimeError("chaos")
 

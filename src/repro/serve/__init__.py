@@ -29,42 +29,65 @@ sub-second repeat latency, built for interactive variability tooling:
 * :class:`ParseJournal` (``journal.py``) — crash-surviving warm-state
   metadata beside the result cache, so a restarted daemon resumes
   disk/token-tier short-circuiting immediately;
-* :class:`ServeClient` (``client.py``) — the client library behind
-  the ``superc-serve`` CLI; served parses satisfy the same structural
-  Result protocol as local ones, and transport failures retry under
-  bounded seeded backoff before answering ``status="unavailable"``.
+* :mod:`repro.serve.protocol` — the transport-agnostic protocol core:
+  typed requests (:class:`ParseRequest` …), one validate/serialize
+  codec, one status taxonomy, one response envelope — shared by every
+  transport so their semantics cannot drift;
+* :class:`HttpFrontend` (``http.py``) — the HTTP/1.1 surface
+  (``POST /v1/parse``, ``GET /v1/stats``, ``GET /healthz`` …) over the
+  same admission queue and dispatchers as the socket listener;
+* :func:`connect` / :class:`RemoteSession` (``client.py``) — the
+  client library behind the ``superc-serve`` CLI: one session facade
+  over :class:`SocketTransport` (``unix:``/``tcp:`` endpoints) and
+  :class:`HttpTransport` (``http://`` endpoints); served parses
+  satisfy the same structural Result protocol as local ones, and
+  transport failures retry under bounded seeded backoff before
+  answering ``status="unavailable"``.  (:class:`ServeClient` remains
+  as a deprecated alias of the socket transport.)
 
 Typical use::
 
-    from repro.serve import ParseServer, ServeClient
+    from repro.serve import ParseServer, connect
 
     server = ParseServer(socket_path="/tmp/superc.sock",
                          include_paths=("include",)).start()
-    with ServeClient(socket_path="/tmp/superc.sock") as client:
-        result = client.parse("drivers/mousedev.c")   # miss: parses
-        result = client.parse("drivers/mousedev.c")   # hit: warm
-        client.invalidate("include/major.h")          # drops dependents
-        client.shutdown()                             # graceful drain
+    with connect("unix:/tmp/superc.sock") as session:
+        result = session.parse("drivers/mousedev.c")  # miss: parses
+        result = session.parse("drivers/mousedev.c")  # hit: warm
+        session.invalidate("include/major.h")         # drops dependents
+        session.shutdown()                            # graceful drain
 """
 
 from repro.serve.admission import AdmissionQueue, Deadline, QueueClosed
-from repro.serve.client import (STATUS_UNAVAILABLE, ServeClient,
-                                ServeError)
+from repro.serve.client import (HttpTransport, RemoteSession,
+                                ServeClient, ServeError,
+                                SocketTransport, Transport, connect,
+                                make_transport, parse_endpoint)
+from repro.serve.http import HttpFrontend
 from repro.serve.incremental import (InvalidationIndex,
                                      file_token_digest,
                                      token_fingerprint)
 from repro.serve.journal import ParseJournal
 from repro.serve.pool import PoolConfig, Worker, WorkerPool
-from repro.serve.server import (OPS, PROTOCOL_VERSION, STATUS_SHED,
-                                ParseServer, ParseService)
+from repro.serve.protocol import (OPS, PROTOCOL_VERSION, STATUS_SHED,
+                                  STATUS_UNAVAILABLE, InvalidateRequest,
+                                  ParseRequest, PingRequest,
+                                  ProtocolError, Request,
+                                  ShutdownRequest, StatsRequest,
+                                  decode_request)
+from repro.serve.server import ParseServer, ParseService
 from repro.serve.state import (TIER_DISK, TIER_MEMORY, TIER_TOKEN,
                                FileStore, ParseEntry, ServerState)
 
 __all__ = [
-    "AdmissionQueue", "Deadline", "FileStore", "InvalidationIndex",
-    "OPS", "PROTOCOL_VERSION", "ParseEntry", "ParseJournal",
-    "ParseServer", "ParseService", "PoolConfig", "QueueClosed",
+    "AdmissionQueue", "Deadline", "FileStore", "HttpFrontend",
+    "HttpTransport", "InvalidateRequest", "InvalidationIndex", "OPS",
+    "PROTOCOL_VERSION", "ParseEntry", "ParseJournal", "ParseRequest",
+    "ParseServer", "ParseService", "PingRequest", "PoolConfig",
+    "ProtocolError", "QueueClosed", "Request", "RemoteSession",
     "STATUS_SHED", "STATUS_UNAVAILABLE", "ServeClient", "ServeError",
-    "ServerState", "TIER_DISK", "TIER_MEMORY", "TIER_TOKEN", "Worker",
-    "WorkerPool", "file_token_digest", "token_fingerprint",
+    "ServerState", "ShutdownRequest", "SocketTransport", "StatsRequest",
+    "TIER_DISK", "TIER_MEMORY", "TIER_TOKEN", "Transport", "Worker",
+    "WorkerPool", "connect", "decode_request", "file_token_digest",
+    "make_transport", "parse_endpoint", "token_fingerprint",
 ]

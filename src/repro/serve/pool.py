@@ -58,6 +58,7 @@ from repro.engine.results import (STATUS_CRASHED, STATUS_ERROR,
                                   STATUS_TIMEOUT, error_record)
 from repro.engine.scheduler import CrashLoopBreaker
 from repro.obs.tracer import NULL_TRACER
+from repro.serve import protocol
 from repro.serve.admission import Deadline
 
 _HEADER = struct.Struct(">I")
@@ -206,28 +207,24 @@ def _child_main(state: Any, rfd: int, wfd: int) -> None:
     state.reset_after_fork()
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     while True:
-        request = _recv_frame(rfd)
-        if request is None or request.get("op") == "exit":
+        frame = _recv_frame(rfd)
+        if frame is None:
             return
-        op = request.get("op")
-        if op == "ping":
-            _send_frame(wfd, {"op": "ping", "ok": True,
-                              "rss_kb": _rss_kb()})
+        request = protocol.decode_worker(frame)
+        if request is None or isinstance(request, protocol.WorkerExit):
+            return
+        if isinstance(request, protocol.WorkerPing):
+            _send_frame(wfd, protocol.pong(_rss_kb()))
             continue
-        if op != "parse":
-            _send_frame(wfd, {"op": op, "error": f"unknown op {op!r}"})
-            continue
-        injected = request.get("_chaos")
-        if injected == "crash":
+        if request.chaos == "crash":
             os._exit(CHAOS_EXIT)
-        if injected == "hang":
-            time.sleep(float(request.get("_chaos_seconds") or 30.0))
-        unit = request.get("unit") or "<input>"
-        text = request.get("text") or ""
-        for path, overlay in (request.get("files") or {}).items():
+        if request.chaos == "hang":
+            time.sleep(request.chaos_seconds)
+        unit = request.unit
+        for path, overlay in request.files.items():
             state.files.put(path, overlay)
         try:
-            record = state._parse_inline(unit, text)
+            record = state._parse_inline(unit, request.text)
         except Exception as exc:  # confinement: report, don't die
             record = error_record(unit, STATUS_ERROR, repr(exc))
         record["rss_kb"] = _rss_kb()
@@ -308,7 +305,7 @@ class WorkerPool:
 
     def _shutdown_worker(self, worker: Worker) -> None:
         try:
-            _send_frame(worker.wfd, {"op": "exit"})
+            _send_frame(worker.wfd, protocol.WorkerExit().to_wire())
         except OSError:
             pass
         deadline = time.monotonic() + 0.5
@@ -475,7 +472,7 @@ class WorkerPool:
     def _healthy(self, worker: Worker) -> bool:
         """Ping an idle worker; False means dead/wedged."""
         try:
-            _send_frame(worker.wfd, {"op": "ping"})
+            _send_frame(worker.wfd, protocol.WorkerPing().to_wire())
         except OSError:
             return False
         ready, _, _ = select.select([worker.rfd], [], [],
@@ -542,8 +539,7 @@ class WorkerPool:
         for attempt in (1, 2):
             if self.breaker.tripped or self._closed:
                 break
-            wire = {"op": "parse", "unit": unit, "text": text,
-                    "files": files}
+            wire = protocol.WorkerParse(unit, text, files).to_wire()
             if chaos.ACTIVE is not None:
                 # Fired per dispatch (not per request), so an armed
                 # worker fault hits attempt 1 and the retry runs clean.

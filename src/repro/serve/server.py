@@ -1,11 +1,17 @@
-"""The parse daemon: protocol, service logic, and socket front end.
+"""The parse daemon: service logic and the socket front end.
 
-**Protocol.**  Newline-delimited JSON over a Unix-domain socket or
-TCP.  Each request is one JSON object on one line; each response is
-one JSON object on one line carrying the request's ``id`` back.
-Requests may be pipelined — the server reads ahead and admission
-control decides per request — and responses to shed requests can
-overtake responses to admitted ones (match on ``id``).
+**Protocol.**  Op semantics, the typed request model, the status
+taxonomy, and the response envelope all live in
+:mod:`repro.serve.protocol` — this module dispatches protocol objects,
+it does not define the dialect.  The socket transport speaks
+newline-delimited JSON over a Unix-domain socket or TCP: each request
+is one JSON object on one line; each response is one JSON object on
+one line carrying the request's ``id`` back.  Requests may be
+pipelined — the server reads ahead and admission control decides per
+request — and responses to shed requests can overtake responses to
+admitted ones (match on ``id``).  The HTTP transport
+(:mod:`repro.serve.http`) rides the same queue and dispatchers through
+:meth:`ParseServer.submit_request`.
 
 Request shapes (``op`` selects the type)::
 
@@ -56,34 +62,32 @@ import os
 import socket
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import chaos
 from repro.api import Config
 from repro.engine import DEFAULT_OPTIMIZATION, DeadlineExceeded, \
     attempt_deadline
-from repro.engine.results import STATUS_ERROR, STATUS_TIMEOUT
 from repro.obs.tracer import NULL_TRACER
+from repro.serve import protocol
 from repro.serve.admission import AdmissionQueue, Deadline, QueueClosed
 from repro.serve.pool import PoolConfig, WorkerPool
+from repro.serve.protocol import (OPS, PROTOCOL_VERSION, STATUS_SHED,
+                                  InvalidateRequest, ParseRequest,
+                                  PingRequest, ProtocolError, Request,
+                                  ShutdownRequest, StatsRequest)
 from repro.serve.state import ServerState
-
-# Serve-specific response status (alongside the engine's ok/degraded/
-# parse-failed/error/timeout): the request was refused by admission
-# control and no work was done.
-STATUS_SHED = "shed"
-
-PROTOCOL_VERSION = 1
-
-OPS = ("parse", "invalidate", "stats", "shutdown", "ping")
 
 
 class ParseService:
     """Transport-independent request handler over warm server state.
 
-    ``handle(request) -> response`` implements every op synchronously;
-    the socket layer adds queueing, deadlines, and shedding around it.
-    Tests (and in-process embedders) can call it directly.
+    ``handle(request) -> response`` implements every op synchronously
+    over one dispatch table keyed by protocol request type; the
+    transports add queueing, deadlines, and shedding around it.  Raw
+    wire payloads (dicts) are accepted and validated through
+    :func:`repro.serve.protocol.decode_request`, so tests and
+    in-process embedders can call it directly.
     """
 
     def __init__(self, state: ServerState, tracer: Any = None):
@@ -94,70 +98,73 @@ class ParseService:
         self.hits = 0
         self.misses = 0
         self.started = time.monotonic()
+        # The one dispatch table: protocol request type -> handler.
+        self._handlers: Dict[type, Callable[..., dict]] = {
+            ParseRequest: self._op_parse,
+            InvalidateRequest: self._op_invalidate,
+            StatsRequest: self._op_stats,
+            PingRequest: self._op_ping,
+            ShutdownRequest: self._op_shutdown,
+        }
 
     # -- dispatch ------------------------------------------------------
 
-    def handle(self, request: dict,
+    def handle(self, request: Union[dict, Request],
                deadline: Optional[Deadline] = None) -> dict:
-        op = request.get("op")
-        self.requests += 1
-        if self.tracer.enabled:
-            self.tracer.count("serve.requests")
-        handler = getattr(self, f"_op_{op}", None) if op in OPS else None
-        if handler is None:
-            return self._reply(request, status=STATUS_ERROR,
-                               error=f"unknown op {op!r}")
+        if not isinstance(request, Request):
+            try:
+                request = protocol.decode_request(request)
+            except ProtocolError as exc:
+                self._count_request()
+                return protocol.error_reply(exc.request_id, exc.op,
+                                            str(exc))
+        self._count_request()
+        handler = self._handlers[type(request)]
         try:
-            if op == "parse":
+            if isinstance(request, ParseRequest):
                 # The one op with a deadline: under a worker pool the
                 # supervisor enforces it against the child process.
-                return self._op_parse(request, deadline=deadline)
+                return handler(request, deadline=deadline)
             return handler(request)
         except DeadlineExceeded:
             raise
         except Exception as exc:  # confine: a bad request never kills
-            return self._reply(request, status=STATUS_ERROR,
-                               error=repr(exc))
+            return protocol.error_reply(request.id, request.op,
+                                        repr(exc))
 
-    @staticmethod
-    def _reply(request: dict, **fields: Any) -> dict:
-        response = {"id": request.get("id"), "op": request.get("op")}
-        response.update(fields)
-        return response
+    def _count_request(self) -> None:
+        self.requests += 1
+        if self.tracer.enabled:
+            self.tracer.count("serve.requests")
 
     # -- ops -----------------------------------------------------------
 
-    def _op_ping(self, request: dict) -> dict:
-        return self._reply(request, status="ok",
-                           protocol=PROTOCOL_VERSION)
+    def _op_ping(self, request: PingRequest) -> dict:
+        return protocol.reply(request.id, request.op, status="ok",
+                              protocol=PROTOCOL_VERSION)
 
-    def _op_parse(self, request: dict,
+    def _op_parse(self, request: ParseRequest,
                   deadline: Optional[Deadline] = None) -> dict:
         state = self.state
-        path = request.get("path")
-        text = request.get("text")
-        filename = request.get("filename") or path or "<input>"
-        delay = float(request.get("delay") or 0.0)
-        if delay > 0:  # testing aid — lets smoke tests build a backlog
-            time.sleep(delay)
+        if request.delay > 0:  # testing aid — smoke tests build backlog
+            time.sleep(request.delay)
+        text = request.text
         if text is None:
-            if path is None:
-                return self._reply(request, status=STATUS_ERROR,
-                                   error="parse needs path or text")
-            text = state.files.read(path)
+            text = state.files.read(request.path)
             if text is None:
-                return self._reply(request, status=STATUS_ERROR,
-                                   error=f"cannot read {path}")
-        elif path is not None:
+                return protocol.error_reply(
+                    request.id, request.op,
+                    f"cannot read {request.path}")
+        elif request.path is not None:
             # An explicit buffer for a known path is an overlay edit.
-            state.files.put(path, text)
+            state.files.put(request.path, text)
             state.index.mark_dirty()
-        unit = path or filename
+        unit = request.unit
         with self.tracer.span("serve.request", op="parse", unit=unit):
             key, _closure_digest, members = state.unit_key(unit, text)
             record: Optional[dict] = None
             tier: Optional[str] = None
-            if not request.get("fresh"):
+            if not request.fresh:
                 record, tier = state.lookup(unit, key, members)
             if record is not None:
                 self.hits += 1
@@ -173,22 +180,19 @@ class ParseService:
                                           deadline=deadline))
                 record["cache"] = "miss"
                 tier = None
-        return self._reply(request, tier=tier, **record)
+        return protocol.reply(request.id, request.op, tier=tier,
+                              **record)
 
-    def _op_invalidate(self, request: dict) -> dict:
-        path = request.get("path")
-        if not path:
-            return self._reply(request, status=STATUS_ERROR,
-                               error="invalidate needs a path")
+    def _op_invalidate(self, request: InvalidateRequest) -> dict:
         with self.tracer.span("serve.request", op="invalidate",
-                              path=path):
-            dropped = self.state.invalidate(path, request.get("text"))
+                              path=request.path):
+            dropped = self.state.invalidate(request.path, request.text)
             if self.tracer.enabled:
                 self.tracer.count("serve.invalidated", len(dropped))
-        return self._reply(request, status="ok", invalidated=dropped,
-                           count=len(dropped))
+        return protocol.reply(request.id, request.op, status="ok",
+                              invalidated=dropped, count=len(dropped))
 
-    def _op_stats(self, request: dict) -> dict:
+    def _op_stats(self, request: StatsRequest) -> dict:
         stats = {
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(time.monotonic() - self.started, 3),
@@ -199,12 +203,14 @@ class ParseService:
         stats.update(self.state.stats())
         stats["pool"] = (None if self.pool is None
                          else self.pool.stats())
-        return self._reply(request, status="ok", stats=stats)
+        return protocol.reply(request.id, request.op, status="ok",
+                              stats=stats)
 
-    def _op_shutdown(self, request: dict) -> dict:
+    def _op_shutdown(self, request: ShutdownRequest) -> dict:
         # The socket server intercepts shutdown for draining; handled
         # directly (in-process use) it just acknowledges.
-        return self._reply(request, status="ok", draining=True)
+        return protocol.reply(request.id, request.op, status="ok",
+                              draining=True)
 
 
 class _Connection:
@@ -256,13 +262,45 @@ class _Connection:
         self.sock.close()
 
 
+class _ResponseSlot:
+    """Connection stand-in for a blocking external transport.
+
+    An HTTP handler thread (or any in-process waiter) admits its
+    request with a slot as the "connection"; the dispatcher's
+    ``send()`` then hands the response straight to the waiting thread
+    instead of a socket.  ``close()`` (server teardown) releases the
+    waiter with a structured ``unavailable`` answer so no transport
+    thread can hang on a dead dispatcher.
+    """
+
+    __slots__ = ("response", "_event")
+
+    def __init__(self):
+        self.response: Optional[dict] = None
+        self._event = threading.Event()
+
+    def send(self, response: dict) -> None:
+        self.response = response
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def close(self) -> None:
+        if not self._event.is_set():
+            self.response = protocol.reply(
+                None, None, status=protocol.STATUS_UNAVAILABLE,
+                error="server stopped before answering")
+            self._event.set()
+
+
 class _QueuedRequest:
     """An admitted request waiting for the worker."""
 
     __slots__ = ("request", "connection", "deadline", "admitted",
                  "shutdown")
 
-    def __init__(self, request: dict, connection: _Connection,
+    def __init__(self, request: Request, connection: Any,
                  deadline: Deadline, shutdown: bool = False):
         self.request = request
         self.connection = connection
@@ -275,16 +313,21 @@ class ParseServer:
     """Socket front end: accepts, admits, serves, drains.
 
     Bind with ``socket_path`` (Unix domain) or ``host``/``port``
-    (TCP; port 0 picks a free port, see :attr:`address`).  Call
-    :meth:`serve_forever` on the thread that should do the parsing —
-    the main thread for SIGALRM-hard deadlines — or :meth:`start` to
-    spawn everything in the background (tests, notebooks).
+    (TCP; port 0 picks a free port, see :attr:`address`); add
+    ``http_host``/``http_port`` to serve the HTTP frontend
+    (:mod:`repro.serve.http`) concurrently off the same warm state and
+    admission queue.  Call :meth:`serve_forever` on the thread that
+    should do the parsing — the main thread for SIGALRM-hard deadlines
+    — or :meth:`start` to spawn everything in the background (tests,
+    notebooks).
     """
 
     def __init__(self, state: Optional[ServerState] = None,
                  socket_path: Optional[str] = None,
                  host: Optional[str] = None,
                  port: Optional[int] = None,
+                 http_host: Optional[str] = None,
+                 http_port: Optional[int] = None,
                  max_queue: int = 64,
                  deadline_seconds: float = 0.0,
                  workers: int = 0,
@@ -318,11 +361,17 @@ class ParseServer:
         self._requested_host = host
         self._requested_port = port
         self.address: Optional[Tuple[str, int]] = None
+        # HTTP frontend: requested when http_port is not None (0 picks
+        # a free port); started alongside the socket listener.
+        self._http_requested = http_port is not None
+        self._http_host = http_host or "127.0.0.1"
+        self._http_port = http_port or 0
+        self.http: Optional[Any] = None
         self._listener: Optional[socket.socket] = None
         self._acceptor: Optional[threading.Thread] = None
         self._worker: Optional[threading.Thread] = None
         self._extra_dispatchers: List[threading.Thread] = []
-        self._connections: List[_Connection] = []
+        self._connections: List[Any] = []
         self._connections_lock = threading.Lock()
         # In-flight request count: the drain barrier that lets the
         # shutdown sentinel wait for every other dispatcher to go idle
@@ -332,10 +381,17 @@ class ParseServer:
         self._stopped = threading.Event()
         self.drained = 0
 
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """(host, port) of the HTTP frontend, once started."""
+        return None if self.http is None else self.http.address
+
     # -- lifecycle -----------------------------------------------------
 
     def bind(self) -> None:
-        """Create and bind the listening socket (idempotent)."""
+        """Create and bind the listening socket (idempotent).  With an
+        HTTP frontend requested and no socket endpoint, the line
+        protocol is simply not served."""
         if self._listener is not None:
             return
         if self.socket_path:
@@ -346,6 +402,8 @@ class ParseServer:
             listener = socket.socket(socket.AF_UNIX,
                                      socket.SOCK_STREAM)
             listener.bind(self.socket_path)
+        elif self._requested_port is None and self._http_requested:
+            return  # HTTP-only daemon
         else:
             listener = socket.socket(socket.AF_INET,
                                      socket.SOCK_STREAM)
@@ -367,14 +425,29 @@ class ParseServer:
         self.state.executor = self.pool.execute
         self.service.pool = self.pool
 
-    def start(self) -> "ParseServer":
-        """Bind and run acceptor + dispatchers as background threads."""
-        self._start_pool()
-        self.bind()
+    def _start_http(self) -> None:
+        """Bind and start the HTTP frontend, if one was requested."""
+        if not self._http_requested or self.http is not None:
+            return
+        from repro.serve.http import HttpFrontend
+        self.http = HttpFrontend(self, host=self._http_host,
+                                 port=self._http_port,
+                                 tracer=self.tracer).start()
+
+    def _start_acceptor(self) -> None:
+        if self._listener is None:
+            return
         self._acceptor = threading.Thread(target=self._accept_loop,
                                           name="serve-acceptor",
                                           daemon=True)
         self._acceptor.start()
+
+    def start(self) -> "ParseServer":
+        """Bind and run acceptor + dispatchers as background threads."""
+        self._start_pool()
+        self.bind()
+        self._start_http()
+        self._start_acceptor()
         self._worker = threading.Thread(target=self._work_loop,
                                         name="serve-worker",
                                         daemon=True)
@@ -387,10 +460,8 @@ class ParseServer:
         number of requests served during the drain."""
         self._start_pool()
         self.bind()
-        self._acceptor = threading.Thread(target=self._accept_loop,
-                                          name="serve-acceptor",
-                                          daemon=True)
-        self._acceptor.start()
+        self._start_http()
+        self._start_acceptor()
         self._work_loop()
         return self.drained
 
@@ -399,15 +470,17 @@ class ParseServer:
         return self._stopped.wait(timeout)
 
     def close(self) -> None:
-        """Hard stop: close the listener, every connection, and the
-        worker pool.  Prefer a ``shutdown`` request for a graceful
-        drain."""
+        """Hard stop: close the listener, every connection, the HTTP
+        frontend, and the worker pool.  Prefer a ``shutdown`` request
+        for a graceful drain."""
         self.queue.begin_drain()
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:
                 pass
+        if self.http is not None:
+            self.http.close()
         with self._connections_lock:
             connections = list(self._connections)
         for connection in connections:
@@ -442,19 +515,26 @@ class ParseServer:
     def _read_loop(self, connection: _Connection) -> None:
         while True:
             try:
-                request = connection.read_request()
+                payload = connection.read_request()
             except (ValueError, UnicodeDecodeError) as exc:
-                connection.send({"id": None, "op": None,
-                                 "status": STATUS_ERROR,
-                                 "error": f"bad request line: {exc}"})
+                connection.send(protocol.error_reply(
+                    None, None, f"bad request line: {exc}"))
                 continue
-            if request is None:
+            if payload is None:
                 return
+            try:
+                request = protocol.decode_request(payload)
+            except ProtocolError as exc:
+                connection.send(protocol.error_reply(
+                    exc.request_id, exc.op, str(exc)))
+                continue
             self._admit(request, connection)
 
-    def _admit(self, request: dict, connection: _Connection) -> None:
-        op = request.get("op")
-        if op == "shutdown":
+    def _admit(self, request: Request, connection: Any) -> None:
+        """Admission control over one typed request; ``connection`` is
+        anything with ``send(response)`` (a socket connection or a
+        transport's response slot)."""
+        if isinstance(request, ShutdownRequest):
             # Atomically flip to draining and land the sentinel behind
             # everything already queued: later submits shed, earlier
             # work still drains, and the worker answers the shutdown
@@ -463,19 +543,59 @@ class ParseServer:
                 _QueuedRequest(request, connection, Deadline(0.0),
                                shutdown=True))
             return
-        if op in ("stats", "ping"):
-            # Control plane: answered inline by the reader thread, so
-            # health checks and stats stay responsive under load.
+        if isinstance(request, (StatsRequest, PingRequest)):
+            # Control plane: answered inline by the admitting thread,
+            # so health checks and stats stay responsive under load.
             connection.send(self.service.handle(request))
             return
-        deadline = Deadline(float(request.get("deadline")
-                                  or self.deadline_seconds))
+        deadline_seconds = self.deadline_seconds
+        if isinstance(request, ParseRequest) \
+                and request.deadline is not None:
+            deadline_seconds = request.deadline
+        deadline = Deadline(deadline_seconds)
         queued = _QueuedRequest(request, connection, deadline)
         if not self.queue.submit(queued):
             reason = ("draining" if self.queue.draining else
                       f"queue depth {self.queue.max_depth} exceeded")
-            connection.send({"id": request.get("id"), "op": op,
-                             "status": STATUS_SHED, "error": reason})
+            connection.send(protocol.shed_reply(request.id, request.op,
+                                                reason))
+
+    # -- external transports (HTTP, in-process embedders) --------------
+
+    def submit_request(self, request: Union[dict, Request],
+                       timeout: Optional[float] = None) -> dict:
+        """Admit one externally-transported request and block for its
+        response — the bridge the HTTP frontend rides, so deadline,
+        shed, and queue semantics are exactly the socket path's.
+
+        Control-plane ops answer inline; everything else waits on the
+        shared dispatcher(s).  ``timeout`` bounds the wait (defaults to
+        the request deadline plus a supervision margin, unbounded
+        without one); an expired wait answers ``unavailable``.
+        """
+        if not isinstance(request, Request):
+            request = protocol.decode_request(request)
+        slot = _ResponseSlot()
+        with self._connections_lock:
+            self._connections.append(slot)
+        try:
+            self._admit(request, slot)
+            if timeout is None and isinstance(request, ParseRequest) \
+                    and request.deadline is not None \
+                    and request.deadline > 0:
+                timeout = request.deadline + 60.0
+            if not slot.wait(timeout):
+                return protocol.reply(
+                    request.id, request.op,
+                    status=protocol.STATUS_UNAVAILABLE,
+                    error=f"no response within {timeout:.3g}s")
+            return slot.response
+        finally:
+            with self._connections_lock:
+                try:
+                    self._connections.remove(slot)
+                except ValueError:
+                    pass
 
     # -- worker side (the parsing threads) -----------------------------
 
@@ -536,11 +656,10 @@ class ParseServer:
             # to queue wait).
             if self.tracer.enabled:
                 self.tracer.count("serve.deadline.expired")
-            queued.connection.send({
-                "id": request.get("id"), "op": request.get("op"),
-                "status": STATUS_TIMEOUT,
-                "error": f"deadline of {deadline.seconds:.3g}s "
-                         f"expired after {queue_seconds:.3g}s in queue"})
+            queued.connection.send(protocol.timeout_reply(
+                request.id, request.op,
+                f"deadline of {deadline.seconds:.3g}s "
+                f"expired after {queue_seconds:.3g}s in queue"))
             return
         started = time.monotonic()
         try:
@@ -555,11 +674,10 @@ class ParseServer:
                                       if deadline.enabled else 0.0):
                     response = self.service.handle(request)
         except DeadlineExceeded:
-            response = {"id": request.get("id"),
-                        "op": request.get("op"),
-                        "status": STATUS_TIMEOUT,
-                        "error": f"deadline of {deadline.seconds:.3g}s "
-                                 f"exceeded while parsing"}
+            response = protocol.timeout_reply(
+                request.id, request.op,
+                f"deadline of {deadline.seconds:.3g}s "
+                f"exceeded while parsing")
         response.setdefault("serve", {})
         response["serve"].update({
             "queue_seconds": round(queue_seconds, 6),

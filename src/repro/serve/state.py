@@ -40,21 +40,19 @@ from repro.cpp import FileSystem, RealFileSystem
 from repro.engine import DEFAULT_OPTIMIZATION
 from repro.engine.cache import (ResultCache, config_fingerprint,
                                 include_closure)
-from repro.engine.results import (STATUS_CRASHED, STATUS_ERROR,
-                                  STATUS_TIMEOUT, record_from_result)
+from repro.engine.results import record_from_result
 from repro.obs.tracer import NULL_TRACER
 from repro.parser.fmlr import OPTIMIZATION_LEVELS
 from repro.serve.incremental import InvalidationIndex, token_fingerprint
 from repro.serve.journal import ParseJournal
+# One status taxonomy for the whole service: which statuses may never
+# be published to the warm tiers is part of the protocol, not of any
+# one transport or cache layer.
+from repro.serve.protocol import UNCACHEABLE_STATUSES
 
 TIER_MEMORY = "memory"
 TIER_DISK = "disk"
 TIER_TOKEN = "token"
-
-# Failure records describe one attempt, not the unit: publishing them
-# to the warm tiers would pin a transient crash/timeout as the unit's
-# answer.  Mirrors the batch engine's non-caching of retryable states.
-UNCACHEABLE_STATUSES = (STATUS_ERROR, STATUS_TIMEOUT, STATUS_CRASHED)
 
 JOURNAL_NAME = "serve-journal.jsonl"
 

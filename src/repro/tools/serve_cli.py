@@ -1,20 +1,27 @@
 """Command-line interface: the persistent parse daemon and its client.
 
 Server mode (foreground; parsing happens on the main thread so
-per-request deadlines get the engine's SIGALRM enforcement)::
+per-request deadlines get the engine's SIGALRM enforcement).
+``--listen URL`` is repeatable — one daemon can serve the socket
+dialect and the HTTP frontend concurrently off one warm state::
 
-    python -m repro.tools.serve_cli --socket /tmp/superc.sock \\
+    python -m repro.tools.serve_cli --listen unix:/tmp/superc.sock \\
         -I include [--max-queue 64] [--deadline 5] [--trace out.json]
-    python -m repro.tools.serve_cli --port 7433   # TCP (port 0 = pick)
+    python -m repro.tools.serve_cli --listen tcp:127.0.0.1:7433
+    python -m repro.tools.serve_cli --listen unix:/tmp/superc.sock \\
+        --listen http://127.0.0.1:7480
 
 Client mode (any op flag switches to client; ops run in the order
 parse → invalidate → stats → shutdown, each against the same
 daemon)::
 
-    python -m repro.tools.serve_cli --socket /tmp/superc.sock \\
+    python -m repro.tools.serve_cli --connect unix:/tmp/superc.sock \\
         --parse drivers/mousedev.c --parse drivers/mousedev.c --json
-    python -m repro.tools.serve_cli --socket /tmp/superc.sock \\
+    python -m repro.tools.serve_cli --connect http://127.0.0.1:7480 \\
         --invalidate include/major.h --stats --shutdown
+
+(``--socket PATH`` and ``--port N`` remain as deprecated spellings of
+``unix:`` and ``tcp:`` endpoints; they warn and keep working.)
 
 Smoke mode (``--smoke FILE``) runs the whole serve contract
 in-process over a real Unix socket: warm-hit on the second identical
@@ -22,14 +29,21 @@ request, reverse-invalidation on a header edit, ``status=shed`` under
 an over-depth burst, and a clean draining shutdown — exits nonzero on
 the first violated expectation (the Makefile ``serve-smoke`` target).
 
+HTTP smoke mode (``--http-smoke FILE``) starts one daemon with both a
+Unix socket and an HTTP listener and drives parse / invalidate /
+stats / healthz entirely over HTTP: cache hit on the re-parse, the
+socket and HTTP transports answering byte-identical records off the
+shared warm cache, and a graceful shutdown via ``POST /v1/shutdown``
+(the Makefile ``http-smoke`` target).
+
 Chaos-smoke mode (``--chaos-smoke FILE``) runs the fault-tolerance
 contract: under a seeded :mod:`repro.chaos` plan it injects a worker
 crash, a parse hang past its deadline, a corrupt cache blob, a
-dropped client socket mid-response, and an ENOSPC on a cache write —
-asserting the daemon answers a correct parse after every fault — then
-hard-kills the daemon and verifies the restarted one resumes warm-tier
-short-circuiting from the journal (the Makefile ``chaos-smoke``
-target).
+dropped client socket mid-response, an ENOSPC on a cache write, and a
+torn HTTP response body — asserting the daemon answers a correct
+parse after every fault — then hard-kills the daemon and verifies a
+restarted one resumes warm-tier short-circuiting from the journal
+through the HTTP frontend (the Makefile ``chaos-smoke`` target).
 
 ``--workers N`` puts the daemon behind a supervised pre-forked pool of
 N parse workers with N concurrent dispatchers (deadlines enforced by
@@ -46,7 +60,8 @@ import json
 import os
 import sys
 import tempfile
-from typing import List, Optional
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine import DEFAULT_OPTIMIZATION
 from repro.parser.fmlr import OPTIMIZATION_LEVELS
@@ -59,12 +74,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Persistent configuration-preserving parse "
                     "service (daemon + client).")
     endpoint = parser.add_argument_group("endpoint")
+    endpoint.add_argument("--listen", action="append", default=[],
+                          metavar="URL", dest="listen",
+                          help="serve this endpoint (repeatable): "
+                               "unix:PATH, tcp:HOST:PORT, or "
+                               "http://HOST:PORT (port 0 picks a "
+                               "free one)")
+    endpoint.add_argument("--connect", metavar="URL",
+                          dest="connect_url",
+                          help="client endpoint: unix:PATH, "
+                               "tcp:HOST:PORT, or http://HOST:PORT")
     endpoint.add_argument("--socket", metavar="PATH",
-                          help="Unix-domain socket path")
+                          help="deprecated spelling of "
+                               "--listen/--connect unix:PATH")
     endpoint.add_argument("--host", default="127.0.0.1",
-                          help="TCP bind/connect host")
+                          help="TCP bind/connect host (with --port)")
     endpoint.add_argument("--port", type=int, metavar="N",
-                          help="TCP port (server: 0 picks a free one)")
+                          help="deprecated spelling of "
+                               "--listen/--connect tcp:HOST:N")
     server = parser.add_argument_group("server")
     server.add_argument("-I", "--include", action="append",
                         default=[], metavar="DIR",
@@ -119,25 +146,76 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--smoke-header", metavar="PATH",
                         help="header to invalidate during --smoke "
                              "(default: first include dir header)")
+    parser.add_argument("--http-smoke", metavar="FILE",
+                        dest="http_smoke",
+                        help="run the HTTP-frontend smoke against "
+                             "FILE (starts its own server with "
+                             "socket + HTTP listeners)")
     parser.add_argument("--chaos-smoke", metavar="FILE",
                         dest="chaos_smoke",
                         help="run the fault-injection smoke against "
                              "FILE (starts its own server, injects "
-                             "the five chaos fault kinds, restarts "
+                             "the six chaos fault kinds, restarts "
                              "the daemon)")
     return parser
+
+
+def _warn_deprecated_flag(flag: str, replacement: str) -> None:
+    warnings.warn(f"{flag} is deprecated; use {replacement}",
+                  DeprecationWarning, stacklevel=3)
+
+
+def _legacy_endpoint(args) -> Optional[str]:
+    """Endpoint URL from the deprecated --socket/--port flags (with a
+    DeprecationWarning), or None when neither was given."""
+    if args.socket is not None:
+        _warn_deprecated_flag(
+            "--socket", "--listen/--connect unix:PATH")
+        return f"unix:{args.socket}"
+    if args.port is not None:
+        _warn_deprecated_flag(
+            "--port", "--listen/--connect tcp:HOST:PORT")
+        return f"tcp:{args.host}:{args.port}"
+    return None
+
+
+def _resolve_listeners(args) -> Dict[str, Tuple]:
+    """Map listener kind -> parsed endpoint for server mode.  Raises
+    ValueError on an unparseable URL or duplicate/conflicting kinds."""
+    from repro.serve import parse_endpoint
+    urls = list(args.listen)
+    legacy = _legacy_endpoint(args)
+    if legacy is not None:
+        urls.append(legacy)
+    listeners: Dict[str, Tuple] = {}
+    for url in urls:
+        endpoint = parse_endpoint(url)
+        kind = endpoint[0]
+        if kind in listeners:
+            raise ValueError(f"multiple {kind} listeners requested")
+        listeners[kind] = endpoint
+    if "unix" in listeners and "tcp" in listeners:
+        raise ValueError(
+            "cannot serve unix: and tcp: at once (one stream "
+            "listener; add http:// for a second surface)")
+    return listeners
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
     if args.smoke:
         return run_smoke(args)
+    if args.http_smoke:
+        return run_http_smoke(args)
     if args.chaos_smoke:
         return run_chaos_smoke(args)
     client_mode = bool(args.parse_paths or args.invalidate_paths
                        or args.stats or args.shutdown)
-    if args.socket is None and args.port is None:
-        print("error: need --socket PATH or --port N", file=sys.stderr)
+    if not (args.listen or args.connect_url or args.socket is not None
+            or args.port is not None):
+        print("error: need --listen URL (server) or --connect URL "
+              "(client); legacy --socket PATH / --port N also work",
+              file=sys.stderr)
         return 2
     if client_mode:
         return run_client(args)
@@ -146,12 +224,32 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def run_server(args) -> int:
     from repro.serve import ParseServer
+    try:
+        listeners = _resolve_listeners(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.connect_url:
+        print("error: --connect is a client flag; servers take "
+              "--listen", file=sys.stderr)
+        return 2
+    if not listeners:
+        print("error: need at least one --listen URL",
+              file=sys.stderr)
+        return 2
     tracer = None
     if args.trace:
         from repro.obs import Tracer
         tracer = Tracer()
+    unix_endpoint = listeners.get("unix")
+    tcp_endpoint = listeners.get("tcp")
+    http_endpoint = listeners.get("http")
     server = ParseServer(
-        socket_path=args.socket, host=args.host, port=args.port,
+        socket_path=unix_endpoint[1] if unix_endpoint else None,
+        host=tcp_endpoint[1] if tcp_endpoint else None,
+        port=tcp_endpoint[2] if tcp_endpoint else None,
+        http_host=http_endpoint[1] if http_endpoint else None,
+        http_port=http_endpoint[2] if http_endpoint else None,
         max_queue=args.max_queue, deadline_seconds=args.deadline,
         workers=max(0, args.workers),
         tracer=tracer, optimization=args.optimization,
@@ -160,8 +258,16 @@ def run_server(args) -> int:
         include_paths=tuple(args.include),
         extra_definitions=parse_defines(args.define) or None)
     server.bind()
-    where = args.socket or "%s:%d" % server.address
-    print(f"superc-serve: listening on {where}", file=sys.stderr)
+    server._start_http()
+    if unix_endpoint:
+        print(f"superc-serve: listening on unix:{server.socket_path}",
+              file=sys.stderr)
+    if tcp_endpoint:
+        print("superc-serve: listening on tcp:%s:%d" % server.address,
+              file=sys.stderr)
+    if http_endpoint:
+        print(f"superc-serve: listening on {server.http.url}",
+              file=sys.stderr)
     served = server.serve_forever()
     print(f"superc-serve: drained after {served} request(s)",
           file=sys.stderr)
@@ -174,7 +280,12 @@ def run_server(args) -> int:
 
 
 def run_client(args) -> int:
-    from repro.serve import STATUS_UNAVAILABLE, ServeClient, ServeError
+    from repro.serve import STATUS_UNAVAILABLE, ServeError, connect
+    if args.listen:
+        print("error: --listen is a server flag; clients take "
+              "--connect", file=sys.stderr)
+        return 2
+    url = args.connect_url or _legacy_endpoint(args)
     failures = 0
 
     def down(response: dict) -> bool:
@@ -186,10 +297,9 @@ def run_client(args) -> int:
         return True
 
     try:
-        with ServeClient(socket_path=args.socket, host=args.host,
-                         port=args.port) as client:
+        with connect(url) as session:
             for path in args.parse_paths:
-                result = client.parse(path, fresh=args.fresh)
+                result = session.parse(path, fresh=args.fresh)
                 record = result.record
                 if down(record):
                     failures += 1
@@ -205,7 +315,7 @@ def run_client(args) -> int:
                 if result.status not in ("ok", "degraded"):
                     failures += 1
             for path in args.invalidate_paths:
-                response = client.invalidate(path)
+                response = session.invalidate(path)
                 if down(response):
                     failures += 1
                     continue
@@ -217,14 +327,14 @@ def run_client(args) -> int:
                 if response.get("status") != "ok":
                     failures += 1
             if args.stats:
-                response = client.request("stats")
+                response = session.transport.request("stats")
                 if down(response):
                     failures += 1
                 else:
                     print(json.dumps(response.get("stats") or {},
                                      indent=2, sort_keys=True))
             if args.shutdown:
-                response = client.shutdown()
+                response = session.shutdown()
                 if down(response):
                     failures += 1
                 elif args.json:
@@ -232,7 +342,7 @@ def run_client(args) -> int:
                 else:
                     print(f"shutdown: drained "
                           f"{response.get('drained', 0)} request(s)")
-    except ServeError as exc:
+    except (ServeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 1 if failures else 0
@@ -240,7 +350,7 @@ def run_client(args) -> int:
 
 def run_smoke(args) -> int:
     """End-to-end serve contract over a real Unix socket."""
-    from repro.serve import ParseServer, ServeClient
+    from repro.serve import ParseServer, connect
 
     unit = args.smoke
     if not os.path.isfile(unit):
@@ -271,18 +381,19 @@ def run_smoke(args) -> int:
         include_paths=tuple(args.include),
         extra_definitions=parse_defines(args.define) or None).start()
     try:
-        with ServeClient(socket_path=sock) as client:
-            first = client.parse(unit).record
+        with connect(f"unix:{sock}") as session:
+            client = session.transport  # pipelined submit/drain below
+            first = session.parse(unit).record
             expect(first["status"] in ("ok", "degraded"),
                    f"first parse usable (status={first['status']})")
             expect(first["cache"] == "miss", "first parse is a miss")
-            second = client.parse(unit).record
+            second = session.parse(unit).record
             expect(second["cache"] == "hit",
                    "second identical request is a cache hit")
             expect(second["serve"]["seconds"]
                    <= max(0.005, first["serve"]["seconds"]),
                    "warm hit is not slower than the cold parse")
-            stats = client.stats()
+            stats = session.stats()
             expect(stats["cache_hits"] >= 1,
                    "serve.cache.hit counter advanced")
 
@@ -294,14 +405,14 @@ def run_smoke(args) -> int:
                 # cache).
                 with open(header, "r", encoding="utf-8") as handle:
                     header_text = handle.read()
-                response = client.invalidate(
+                response = session.invalidate(
                     header,
                     text=header_text + "\n#define SERVE_SMOKE_EDIT 1\n")
                 expect(response["status"] == "ok"
                        and unit in response["invalidated"],
                        f"invalidate({header}) drops the dependent "
                        f"unit")
-                third = client.parse(unit).record
+                third = session.parse(unit).record
                 expect(third["cache"] == "miss",
                        "edited header forces a real re-parse")
                 expect(third["status"] in ("ok", "degraded"),
@@ -323,7 +434,7 @@ def run_smoke(args) -> int:
                        for status in statuses),
                    "burst responses are served or shed, never lost")
 
-            response = client.shutdown()
+            response = session.shutdown()
             expect(response["status"] == "ok",
                    f"shutdown drains cleanly "
                    f"(drained={response.get('drained')})")
@@ -339,16 +450,124 @@ def run_smoke(args) -> int:
     return 0
 
 
+def _strip_volatile(record: dict) -> dict:
+    """A response record minus per-request fields, for cross-transport
+    equality checks."""
+    return {key: value for key, value in record.items()
+            if key not in ("id", "serve")}
+
+
+def run_http_smoke(args) -> int:
+    """The HTTP frontend contract: one daemon, two transports, one
+    warm cache."""
+    import http.client as httplib
+
+    from repro.serve import ParseServer, connect
+
+    unit = args.http_smoke
+    if not os.path.isfile(unit):
+        print(f"error: cannot read {unit}", file=sys.stderr)
+        return 2
+    checks: List[str] = []
+
+    def expect(condition: bool, label: str) -> None:
+        status = "ok" if condition else "FAIL"
+        checks.append(f"  [{status}] {label}")
+        if not condition:
+            raise AssertionError(label)
+
+    tmp = tempfile.mkdtemp(prefix="superc-http-smoke-")
+    sock = os.path.join(tmp, "serve.sock")
+    server = ParseServer(
+        socket_path=sock, http_port=0, max_queue=16,
+        optimization=args.optimization,
+        cache_dir=os.path.join(tmp, "cache"),
+        include_paths=tuple(args.include),
+        extra_definitions=parse_defines(args.define) or None).start()
+    try:
+        host, port = server.http_address
+        expect(server.http.url.startswith("http://"),
+               f"daemon serves socket + HTTP ({server.http.url})")
+
+        with connect(server.http.url) as session:
+            # Raw-wire checks first: healthz and framing, the way a
+            # load balancer or curl sees them.
+            raw = httplib.HTTPConnection(host, port, timeout=30)
+            raw.request("GET", "/healthz")
+            health = raw.getresponse()
+            health_body = json.loads(health.read().decode("utf-8"))
+            expect(health.status == 200
+                   and health_body["status"] == "ok",
+                   "GET /healthz answers 200 while serving")
+            raw.request("GET", "/v1/nope")
+            lost = raw.getresponse()
+            lost.read()
+            expect(lost.status == 404, "unknown route answers 404")
+            raw.request("POST", "/v1/stats", body=b"{}")
+            wrong = raw.getresponse()
+            wrong.read()
+            expect(wrong.status == 405,
+                   "wrong method on a known route answers 405")
+            raw.close()
+
+            first = session.parse(unit).record
+            expect(first["status"] in ("ok", "degraded"),
+                   f"HTTP parse usable (status={first['status']})")
+            expect(first["cache"] == "miss",
+                   "first HTTP parse is a miss")
+            second = session.parse(unit).record
+            expect(second["cache"] == "hit",
+                   "HTTP re-parse is a warm cache hit")
+
+            # The acceptance check: the socket client must see the
+            # same record for the same unit — same warm cache, same
+            # envelope, different framing only.
+            with connect(f"unix:{sock}") as socket_session:
+                via_socket = socket_session.parse(unit).record
+            expect(via_socket["cache"] == "hit",
+                   "socket transport hits the cache HTTP warmed")
+            expect(_strip_volatile(via_socket)
+                   == _strip_volatile(second),
+                   "socket and HTTP answer identical records")
+
+            response = session.invalidate(unit)
+            expect(response["status"] == "ok",
+                   f"HTTP invalidate ok "
+                   f"(count={response.get('count')})")
+            stats = session.stats()
+            expect(stats["requests"] >= 4
+                   and stats["cache_hits"] >= 2,
+                   f"stats over HTTP see both transports "
+                   f"(requests={stats['requests']}, "
+                   f"hits={stats['cache_hits']})")
+
+            response = session.shutdown()
+            expect(response["status"] == "ok",
+                   f"shutdown over HTTP drains cleanly "
+                   f"(drained={response.get('drained')})")
+        expect(server.wait(10.0), "server stopped after drain")
+    except AssertionError as error:
+        print("\n".join(checks))
+        print(f"http-smoke: FAILED — {error}", file=sys.stderr)
+        return 1
+    finally:
+        server.close()
+    print("\n".join(checks))
+    print("http-smoke: all checks passed")
+    return 0
+
+
 def run_chaos_smoke(args) -> int:
     """Fault-tolerance contract under a seeded chaos plan.
 
-    One fault of each kind is armed against a live pooled daemon; the
-    assertion after every one is the same: the next request is still
-    answered correctly.  Then the daemon is hard-killed (no drain) and
-    a fresh one on the same cache directory must resume warm-tier
-    short-circuiting from the journal."""
+    One fault of each kind is armed against a live pooled daemon (the
+    HTTP-site faults against its HTTP frontend); the assertion after
+    every one is the same: the next request is still answered
+    correctly.  Then the daemon is hard-killed (no drain) and a fresh
+    one on the same cache directory must resume warm-tier
+    short-circuiting from the journal — verified through ``http://``."""
     from repro import chaos
-    from repro.serve import ParseServer, PoolConfig, ServeClient
+    from repro.serve import ParseServer, PoolConfig, connect
 
     unit = args.chaos_smoke
     if not os.path.isfile(unit):
@@ -368,8 +587,8 @@ def run_chaos_smoke(args) -> int:
 
     def make_server(name: str) -> "ParseServer":
         return ParseServer(
-            socket_path=os.path.join(tmp, name), max_queue=16,
-            workers=2, pool_config=pool_config,
+            socket_path=os.path.join(tmp, name), http_port=0,
+            max_queue=16, workers=2, pool_config=pool_config,
             optimization=args.optimization, cache_dir=cache_dir,
             include_paths=tuple(args.include),
             extra_definitions=parse_defines(args.define) or None)
@@ -378,8 +597,8 @@ def run_chaos_smoke(args) -> int:
     server = make_server("serve.sock").start()
     restarted = None
     try:
-        with ServeClient(socket_path=server.socket_path) as client:
-            first = client.parse(unit).record
+        with connect(f"unix:{server.socket_path}") as session:
+            first = session.parse(unit).record
             expect(first["status"] in ("ok", "degraded"),
                    f"baseline parse usable (status={first['status']})")
 
@@ -387,10 +606,10 @@ def run_chaos_smoke(args) -> int:
             # dead worker, restarts one under backoff, and the pool's
             # one-shot retry still answers this very request.
             plan.arm("pool.request", "worker-crash")
-            crashed = client.parse(unit, fresh=True).record
+            crashed = session.parse(unit, fresh=True).record
             expect(crashed["status"] in ("ok", "degraded"),
                    "request survives its worker crashing")
-            pool_stats = client.stats()["pool"]
+            pool_stats = session.stats()["pool"]
             expect(pool_stats["crashes"] >= 1
                    and pool_stats["restarts"] >= 1,
                    f"supervisor reaped and restarted "
@@ -401,11 +620,12 @@ def run_chaos_smoke(args) -> int:
             # the worker at the deadline and answers status=timeout;
             # the next request parses cleanly.
             plan.arm("pool.request", "worker-hang", seconds=30.0)
-            hung = client.parse(unit, fresh=True, deadline=1.5).record
+            hung = session.parse(unit, fresh=True,
+                                 deadline=1.5).record
             expect(hung["status"] == "timeout",
                    f"hung worker killed at the deadline "
                    f"(status={hung['status']})")
-            after = client.parse(unit, fresh=True).record
+            after = session.parse(unit, fresh=True).record
             expect(after["status"] in ("ok", "degraded"),
                    "clean parse right after the hang")
 
@@ -413,12 +633,12 @@ def run_chaos_smoke(args) -> int:
             # entry, the disk read hits the truncated blob, treats it
             # as a miss (deleting it), and the token tier still
             # short-circuits the re-parse.
-            client.invalidate(unit)
+            session.invalidate(unit)
             plan.arm("cache.get", "corrupt-blob")
-            corrupt = client.parse(unit).record
+            corrupt = session.parse(unit).record
             expect(corrupt["status"] in ("ok", "degraded"),
                    "request survives a corrupt cache blob")
-            stats = client.stats()
+            stats = session.stats()
             expect((stats["result_cache"] or {}).get("corrupt", 0) >= 1,
                    "corrupt blob detected, counted, and quarantined")
 
@@ -426,41 +646,51 @@ def run_chaos_smoke(args) -> int:
             # chaos hook closes the socket under the sender; the
             # client reconnects with backoff and resends.
             plan.arm("conn.send", "drop-conn")
-            dropped = client.parse(unit).record
+            dropped = session.parse(unit).record
             expect(dropped["status"] in ("ok", "degraded"),
                    "client reconnects through a dropped socket")
 
             # 5. ENOSPC on the cache write: publishing is best-effort,
             # the parse result still comes back.
             plan.arm("cache.put", "enospc")
-            enospc = client.parse(unit, fresh=True).record
+            enospc = session.parse(unit, fresh=True).record
             expect(enospc["status"] in ("ok", "degraded"),
                    "parse survives ENOSPC on the cache write")
 
-        # 6. Hard kill (no drain, no shutdown) + restart on the same
-        # cache directory: the journal must bring the warm tiers back.
+        # 6. Torn HTTP response body: the frontend sends a full
+        # Content-Length but half the bytes, then hard-closes; the
+        # HTTP client sees IncompleteRead, reconnects, and resends.
+        with connect(server.http.url) as http_session:
+            plan.arm("http.send", "torn-body")
+            torn = http_session.parse(unit).record
+            expect(torn["status"] in ("ok", "degraded"),
+                   "HTTP client heals a torn response body")
+
+        # 7. Hard kill (no drain, no shutdown) + restart on the same
+        # cache directory: the journal must bring the warm tiers back,
+        # observed through the restarted daemon's HTTP frontend.
         server.close()
         expect(server.wait(10.0), "daemon hard-stopped")
         restarted = make_server("serve2.sock").start()
-        with ServeClient(socket_path=restarted.socket_path) as client:
-            resumed = client.parse(unit).record
+        with connect(restarted.http.url) as session:
+            resumed = session.parse(unit).record
             expect(resumed.get("cache") == "hit"
                    and resumed.get("tier") in ("disk", "token"),
-                   f"first post-restart request short-circuits "
-                   f"(tier={resumed.get('tier')})")
-            stats = client.stats()
+                   f"first post-restart request (over HTTP) "
+                   f"short-circuits (tier={resumed.get('tier')})")
+            stats = session.stats()
             expect((stats["journal"] or {}).get("resumed", 0) > 0,
                    f"journal resumed "
                    f"{(stats['journal'] or {}).get('resumed')} "
                    f"warm entr(y/ies)")
-            client.shutdown()
+            session.shutdown()
         expect(restarted.wait(10.0), "restarted daemon drained")
 
         fired = {entry["kind"] for entry in plan.log}
         wanted = {"worker-crash", "worker-hang", "corrupt-blob",
-                  "drop-conn", "enospc"}
+                  "drop-conn", "enospc", "torn-body"}
         expect(fired == wanted,
-               f"all five fault kinds fired ({sorted(fired)})")
+               f"all six fault kinds fired ({sorted(fired)})")
     except AssertionError as error:
         print("\n".join(checks))
         print(f"chaos-smoke: FAILED — {error}", file=sys.stderr)
